@@ -1,0 +1,328 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/interactive"
+	"repro/internal/learn"
+	"repro/internal/paths"
+	"repro/internal/regex"
+	"repro/internal/render"
+	"repro/internal/user"
+)
+
+// graphFlags adds the common -graph / -figure1 / -format flags and returns
+// a loader.
+func graphFlags(fs *flag.FlagSet) func() (*graph.Graph, error) {
+	path := fs.String("graph", "", "path to a graph file")
+	format := fs.String("format", "text", "graph file format: text, csv, tsv or triples")
+	figure1 := fs.Bool("figure1", false, "use the paper's Figure 1 graph")
+	return func() (*graph.Graph, error) {
+		if *figure1 {
+			return dataset.Figure1(), nil
+		}
+		if *path == "" {
+			return nil, fmt.Errorf("either -graph <file> or -figure1 is required")
+		}
+		f, err := os.Open(*path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch *format {
+		case "text":
+			return graph.ReadText(f)
+		case "csv":
+			return graph.ReadCSV(f, graph.CSVOptions{})
+		case "tsv":
+			return graph.ReadCSV(f, graph.CSVOptions{Comma: '\t'})
+		case "triples":
+			return graph.ReadTriples(f)
+		default:
+			return nil, fmt.Errorf("unknown graph format %q (want text, csv, tsv or triples)", *format)
+		}
+	}
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	load := graphFlags(fs)
+	query := fs.String("query", "", "path query, e.g. \"(tram+bus)*.cinema\"")
+	witness := fs.Bool("witness", false, "also print one witness path per selected node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" {
+		return fmt.Errorf("eval: -query is required")
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	sys := core.New(g)
+	res, err := sys.EvaluateString(*query)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query %s selects %d of %d nodes\n", res.Query, len(res.Nodes), g.NumNodes())
+	for _, node := range res.Nodes {
+		if *witness {
+			fmt.Printf("  %s  via %s\n", node, paths.Path{Start: node, Edges: res.Witnesses[node]})
+		} else {
+			fmt.Printf("  %s\n", node)
+		}
+	}
+	return nil
+}
+
+// exampleList collects repeated -positive / -negative flags.
+type exampleList []string
+
+func (l *exampleList) String() string     { return strings.Join(*l, ",") }
+func (l *exampleList) Set(v string) error { *l = append(*l, v); return nil }
+
+func cmdLearn(args []string) error {
+	fs := flag.NewFlagSet("learn", flag.ExitOnError)
+	load := graphFlags(fs)
+	var positives, negatives exampleList
+	fs.Var(&positives, "positive", "positive example, NODE or NODE=word.with.dots (repeatable)")
+	fs.Var(&negatives, "negative", "negative example node (repeatable)")
+	maxLen := fs.Int("maxlen", learn.DefaultMaxPathLength, "maximum witness path length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	sample := learn.NewSample()
+	for _, p := range positives {
+		node, word, hasWord := strings.Cut(p, "=")
+		if hasWord {
+			sample.AddPositive(graph.NodeID(node), strings.Split(word, "."))
+		} else {
+			sample.AddPositive(graph.NodeID(node), nil)
+		}
+	}
+	for _, n := range negatives {
+		sample.AddNegative(graph.NodeID(n))
+	}
+	res, err := learn.Learn(g, sample, learn.Options{MaxPathLength: *maxLen})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("learned query: %s\n", res.Query)
+	fmt.Printf("state merges:  %d (of %d candidates)\n", res.Merges, res.CandidateMerges)
+	for _, node := range sample.PositiveNodes() {
+		fmt.Printf("witness for %s: %s\n", node, strings.Join(res.Witnesses[node], "."))
+	}
+	selected := core.New(g).Evaluate(res.Query)
+	fmt.Printf("selects: %v\n", selected.Nodes)
+	return nil
+}
+
+func cmdInteractive(args []string) error {
+	fs := flag.NewFlagSet("interactive", flag.ExitOnError)
+	load := graphFlags(fs)
+	goal := fs.String("goal", "", "goal query for the simulated user (omit with -human)")
+	human := fs.Bool("human", false, "drive the session yourself from the terminal")
+	validate := fs.Bool("validate", true, "enable the path-validation step (Figure 3c)")
+	strategy := fs.String("strategy", "informative", "node-proposal strategy: informative, random, hybrid or disagreement")
+	maxInteractions := fs.Int("max", 50, "maximum number of label interactions")
+	maxLen := fs.Int("maxlen", learn.DefaultMaxPathLength, "path-length bound for witnesses and informativeness")
+	seed := fs.Int64("seed", 1, "seed for the random strategy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	sys := core.New(g)
+
+	var u user.User
+	switch {
+	case *human:
+		u = newConsoleUser(os.Stdin, os.Stdout, g)
+	case *goal != "":
+		q, err := regex.Parse(*goal)
+		if err != nil {
+			return err
+		}
+		u = sys.SimulateUser(q)
+	default:
+		return fmt.Errorf("interactive: provide -goal for a simulated user or -human to drive the session yourself")
+	}
+
+	tr, err := sys.InteractiveSession(u, core.SessionConfig{
+		Strategy:        *strategy,
+		Seed:            *seed,
+		PathValidation:  *validate,
+		MaxInteractions: *maxInteractions,
+		MaxPathLength:   *maxLen,
+	})
+	if err != nil {
+		return err
+	}
+	printTranscript(tr)
+	return nil
+}
+
+func printTranscript(tr *interactive.Transcript) {
+	fmt.Printf("session ended: %s after %d labels (%d zooms, %d nodes pruned, %d positives propagated)\n",
+		tr.Halt, tr.Labels(), tr.ZoomsTotal, tr.PrunedTotal, tr.ImpliedTotal)
+	for i, inter := range tr.Interactions {
+		word := ""
+		if inter.ValidatedWord != nil {
+			word = " path=" + strings.Join(inter.ValidatedWord, ".")
+		}
+		fmt.Printf("  %2d. %s -> %s (radius %d, %d zooms)%s  learned: %s\n",
+			i+1, inter.Node, inter.Decision, inter.Radius, inter.Zooms, word, inter.Learned)
+	}
+	if tr.Final != nil {
+		fmt.Printf("final query: %s\n", tr.Final)
+	} else {
+		fmt.Println("no consistent query learned")
+	}
+}
+
+func cmdStatic(args []string) error {
+	fs := flag.NewFlagSet("static", flag.ExitOnError)
+	load := graphFlags(fs)
+	goal := fs.String("goal", "", "goal query for the simulated user")
+	maxLabels := fs.Int("max", 0, "maximum number of labels (0 = all nodes)")
+	seed := fs.Int64("seed", 1, "seed for the exploration order")
+	errorRate := fs.Float64("error", 0, "probability that the simulated user mislabels a node")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *goal == "" {
+		return fmt.Errorf("static: -goal is required")
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	q, err := regex.Parse(*goal)
+	if err != nil {
+		return err
+	}
+	sys := core.New(g)
+	var u user.User = sys.SimulateUser(q)
+	if *errorRate > 0 {
+		u = user.NewNoisy(u, *errorRate, *seed)
+	}
+	res := sys.StaticSession(u, user.NewRandomChoice(*seed), *maxLabels)
+	fmt.Printf("static labelling: %d labels, satisfied=%v, inconsistent=%v\n",
+		res.Labels, res.Satisfied, res.Inconsistent)
+	if res.Final != nil {
+		fmt.Printf("final query: %s\n", res.Final)
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "transport", "dataset kind: figure1, transport, random or scalefree")
+	rows := fs.Int("rows", 4, "transport: grid rows")
+	cols := fs.Int("cols", 4, "transport: grid columns")
+	nodes := fs.Int("nodes", 100, "random/scalefree: number of nodes")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Graph
+	switch *kind {
+	case "figure1":
+		g = dataset.Figure1()
+	case "transport":
+		g = dataset.Transport(dataset.TransportOptions{Rows: *rows, Cols: *cols, Seed: *seed})
+	case "random":
+		g = dataset.Random(dataset.RandomOptions{Nodes: *nodes, Seed: *seed})
+	case "scalefree":
+		g = dataset.ScaleFree(dataset.ScaleFreeOptions{Nodes: *nodes, Seed: *seed})
+	default:
+		return fmt.Errorf("generate: unknown kind %q", *kind)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return g.WriteText(w)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	load := graphFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	fmt.Print(g.ComputeStats())
+	return nil
+}
+
+func cmdRender(args []string) error {
+	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	load := graphFlags(fs)
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of the text format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(render.DOT(g))
+		return nil
+	}
+	return g.WriteText(os.Stdout)
+}
+
+func cmdNeighborhood(args []string) error {
+	fs := flag.NewFlagSet("neighborhood", flag.ExitOnError)
+	load := graphFlags(fs)
+	node := fs.String("node", "", "centre node")
+	radius := fs.Int("radius", 2, "neighbourhood radius")
+	dot := fs.Bool("dot", false, "emit DOT instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("neighborhood: -node is required")
+	}
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	if !g.HasNode(graph.NodeID(*node)) {
+		return fmt.Errorf("neighborhood: node %q not in graph", *node)
+	}
+	n := g.NeighborhoodAround(graph.NodeID(*node), *radius, graph.NeighborhoodOptions{Directed: true})
+	var prev *graph.Neighborhood
+	if *radius > 1 {
+		prev = g.NeighborhoodAround(graph.NodeID(*node), *radius-1, graph.NeighborhoodOptions{Directed: true})
+	}
+	if *dot {
+		fmt.Print(render.NeighborhoodDOT(n, prev))
+	} else {
+		fmt.Print(render.NeighborhoodASCII(n, prev))
+	}
+	return nil
+}

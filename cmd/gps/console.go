@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/regex"
+	"repro/internal/render"
+	"repro/internal/user"
+)
+
+// consoleUser implements user.User by asking a human at the terminal, which
+// is this reproduction's stand-in for the demo's graphical interface: it
+// prints the neighbourhood fragment (Figure 3a/b) and the prefix tree of
+// candidate paths (Figure 3c) as text and reads y/n/z answers.
+type consoleUser struct {
+	in   *bufio.Scanner
+	out  io.Writer
+	g    *graph.Graph
+	prev map[graph.NodeID]*graph.Neighborhood
+}
+
+func newConsoleUser(in io.Reader, out io.Writer, g *graph.Graph) *consoleUser {
+	return &consoleUser{
+		in:   bufio.NewScanner(in),
+		out:  out,
+		g:    g,
+		prev: make(map[graph.NodeID]*graph.Neighborhood),
+	}
+}
+
+// LabelNode implements user.User.
+func (c *consoleUser) LabelNode(node graph.NodeID, n *graph.Neighborhood, canZoom bool) user.Decision {
+	fmt.Fprintf(c.out, "\nShould %s be part of the query result?\n", node)
+	fmt.Fprint(c.out, render.NeighborhoodASCII(n, c.prev[node]))
+	c.prev[node] = n
+	prompt := "[y]es / [n]o"
+	if canZoom {
+		prompt += " / [z]oom out"
+	}
+	for {
+		fmt.Fprintf(c.out, "%s > ", prompt)
+		if !c.in.Scan() {
+			// EOF: be conservative and answer no.
+			return user.Negative
+		}
+		switch strings.ToLower(strings.TrimSpace(c.in.Text())) {
+		case "y", "yes":
+			return user.Positive
+		case "n", "no":
+			return user.Negative
+		case "z", "zoom":
+			if canZoom {
+				return user.Zoom
+			}
+			fmt.Fprintln(c.out, "cannot zoom further")
+		default:
+			fmt.Fprintln(c.out, "please answer y, n or z")
+		}
+	}
+}
+
+// ValidatePath implements user.User.
+func (c *consoleUser) ValidatePath(node graph.NodeID, words [][]string, candidate []string) []string {
+	fmt.Fprintf(c.out, "\nWhich path of %s are you interested in?\n", node)
+	fmt.Fprint(c.out, render.PrefixTree(words, candidate))
+	for i, w := range words {
+		marker := " "
+		if paths.WordKey(w) == paths.WordKey(candidate) {
+			marker = "*"
+		}
+		fmt.Fprintf(c.out, " %s %2d. %s\n", marker, i+1, strings.Join(w, "."))
+	}
+	for {
+		fmt.Fprintf(c.out, "path number (enter = accept the highlighted one) > ")
+		if !c.in.Scan() {
+			return candidate
+		}
+		text := strings.TrimSpace(c.in.Text())
+		if text == "" {
+			return candidate
+		}
+		idx, err := strconv.Atoi(text)
+		if err == nil && idx >= 1 && idx <= len(words) {
+			return words[idx-1]
+		}
+		fmt.Fprintf(c.out, "please enter a number between 1 and %d\n", len(words))
+	}
+}
+
+// Satisfied implements user.User.
+func (c *consoleUser) Satisfied(learned *regex.Expr) bool {
+	if learned == nil {
+		return false
+	}
+	fmt.Fprintf(c.out, "\nCurrently learned query: %s\n", learned)
+	for {
+		fmt.Fprint(c.out, "are you satisfied with this query? [y/n] > ")
+		if !c.in.Scan() {
+			return true
+		}
+		switch strings.ToLower(strings.TrimSpace(c.in.Text())) {
+		case "y", "yes":
+			return true
+		case "n", "no":
+			return false
+		default:
+			fmt.Fprintln(c.out, "please answer y or n")
+		}
+	}
+}

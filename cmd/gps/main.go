@@ -1,0 +1,76 @@
+// Command gps is the terminal front-end of the GPS system: it evaluates
+// path queries, learns queries from labelled examples, runs the interactive
+// specification scenario (with a human at the keyboard or a simulated
+// user), generates datasets and renders graphs.
+//
+// Usage:
+//
+//	gps eval -figure1 -query "(tram+bus)*.cinema"
+//	gps eval -graph city.graph -query "bus*.cinema" -witness
+//	gps learn -figure1 -positive N2=bus.tram.cinema -positive N6=cinema -negative N5
+//	gps interactive -figure1 -goal "(tram+bus)*.cinema"      # simulated user
+//	gps interactive -figure1 -human -validate                 # you answer y/n/z
+//	gps static -figure1 -goal "(tram+bus)*.cinema"
+//	gps generate -kind transport -rows 6 -cols 6 -seed 7 -out city.graph
+//	gps stats -graph city.graph
+//	gps render -graph city.graph -dot
+//	gps neighborhood -figure1 -node N2 -radius 3
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "learn":
+		err = cmdLearn(os.Args[2:])
+	case "interactive":
+		err = cmdInteractive(os.Args[2:])
+	case "static":
+		err = cmdStatic(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "render":
+		err = cmdRender(os.Args[2:])
+	case "neighborhood":
+		err = cmdNeighborhood(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "gps: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gps:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `gps — interactive path query specification on graph databases
+
+Commands:
+  eval          evaluate a path query and print the selected nodes
+  learn         learn a query from labelled node examples
+  interactive   run the interactive specification scenario (Figure 2)
+  static        run the static-labelling scenario
+  generate      generate a dataset (figure1, transport, random, scalefree)
+  stats         print graph statistics
+  render        render a graph as DOT or text
+  neighborhood  show a node's neighbourhood fragment (Figure 3a/b)
+
+Run 'gps <command> -h' for the flags of each command.
+`)
+}

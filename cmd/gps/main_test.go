@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/regex"
+	"repro/internal/user"
+)
+
+// withTempGraph writes the Figure 1 graph to a temporary file and returns
+// its path.
+func withTempGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "figure1.graph")
+	g := dataset.Figure1()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g.WriteText(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdEval(t *testing.T) {
+	if err := cmdEval([]string{"-figure1", "-query", "(tram+bus)*.cinema", "-witness"}); err != nil {
+		t.Fatalf("cmdEval: %v", err)
+	}
+	if err := cmdEval([]string{"-figure1"}); err == nil {
+		t.Fatal("missing -query should fail")
+	}
+	if err := cmdEval([]string{"-figure1", "-query", "((("}); err == nil {
+		t.Fatal("invalid query should fail")
+	}
+	if err := cmdEval([]string{"-query", "a"}); err == nil {
+		t.Fatal("missing graph should fail")
+	}
+	path := withTempGraph(t)
+	if err := cmdEval([]string{"-graph", path, "-query", "cinema"}); err != nil {
+		t.Fatalf("cmdEval with file: %v", err)
+	}
+	if err := cmdEval([]string{"-graph", path + ".missing", "-query", "cinema"}); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := cmdEval([]string{"-graph", path, "-format", "bogus", "-query", "cinema"}); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+}
+
+func TestCmdEvalCSVAndTriples(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "g.csv")
+	if err := os.WriteFile(csvPath, []byte("N1,tram,N4\nN4,cinema,C1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-graph", csvPath, "-format", "csv", "-query", "tram.cinema"}); err != nil {
+		t.Fatalf("csv eval: %v", err)
+	}
+	triplesPath := filepath.Join(dir, "g.nt")
+	if err := os.WriteFile(triplesPath, []byte("<a> <knows> <b> .\n<b> <knows> <c> .\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-graph", triplesPath, "-format", "triples", "-query", "knows*"}); err != nil {
+		t.Fatalf("triples eval: %v", err)
+	}
+	tsvPath := filepath.Join(dir, "g.tsv")
+	if err := os.WriteFile(tsvPath, []byte("x\tlikes\ty\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-graph", tsvPath, "-format", "tsv"}); err != nil {
+		t.Fatalf("tsv stats: %v", err)
+	}
+}
+
+func TestCmdLearn(t *testing.T) {
+	args := []string{
+		"-figure1",
+		"-positive", "N2=bus.tram.cinema",
+		"-positive", "N6=cinema",
+		"-negative", "N5",
+	}
+	if err := cmdLearn(args); err != nil {
+		t.Fatalf("cmdLearn: %v", err)
+	}
+	// Auto witnesses (no '=' part).
+	if err := cmdLearn([]string{"-figure1", "-positive", "N4", "-negative", "N5"}); err != nil {
+		t.Fatalf("cmdLearn auto witness: %v", err)
+	}
+	// Inconsistent sample must surface the error.
+	if err := cmdLearn([]string{"-figure1", "-positive", "R1", "-negative", "N5"}); err == nil {
+		t.Fatal("inconsistent sample should fail")
+	}
+}
+
+func TestCmdInteractiveSimulated(t *testing.T) {
+	if err := cmdInteractive([]string{"-figure1", "-goal", "(tram+bus)*.cinema"}); err != nil {
+		t.Fatalf("cmdInteractive: %v", err)
+	}
+	if err := cmdInteractive([]string{"-figure1"}); err == nil {
+		t.Fatal("missing -goal and -human should fail")
+	}
+	if err := cmdInteractive([]string{"-figure1", "-goal", "((("}); err == nil {
+		t.Fatal("invalid goal should fail")
+	}
+	if err := cmdInteractive([]string{"-figure1", "-goal", "cinema", "-strategy", "bogus"}); err == nil {
+		t.Fatal("unknown strategy should fail")
+	}
+}
+
+func TestCmdStatic(t *testing.T) {
+	if err := cmdStatic([]string{"-figure1", "-goal", "restaurant", "-max", "4"}); err != nil {
+		t.Fatalf("cmdStatic: %v", err)
+	}
+	if err := cmdStatic([]string{"-figure1"}); err == nil {
+		t.Fatal("missing goal should fail")
+	}
+	if err := cmdStatic([]string{"-figure1", "-goal", "restaurant", "-error", "0.5"}); err != nil {
+		t.Fatalf("cmdStatic noisy: %v", err)
+	}
+}
+
+func TestCmdGenerateStatsRenderNeighborhood(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "city.graph")
+	if err := cmdGenerate([]string{"-kind", "transport", "-rows", "3", "-cols", "3", "-out", out}); err != nil {
+		t.Fatalf("cmdGenerate: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("generated file missing: %v", err)
+	}
+	for _, kind := range []string{"figure1", "random", "scalefree"} {
+		if err := cmdGenerate([]string{"-kind", kind, "-nodes", "20", "-out", filepath.Join(t.TempDir(), kind)}); err != nil {
+			t.Fatalf("generate %s: %v", kind, err)
+		}
+	}
+	if err := cmdGenerate([]string{"-kind", "bogus"}); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+	if err := cmdStats([]string{"-graph", out}); err != nil {
+		t.Fatalf("cmdStats: %v", err)
+	}
+	if err := cmdRender([]string{"-graph", out, "-dot"}); err != nil {
+		t.Fatalf("cmdRender: %v", err)
+	}
+	if err := cmdRender([]string{"-graph", out}); err != nil {
+		t.Fatalf("cmdRender text: %v", err)
+	}
+	if err := cmdNeighborhood([]string{"-figure1", "-node", "N2", "-radius", "3"}); err != nil {
+		t.Fatalf("cmdNeighborhood: %v", err)
+	}
+	if err := cmdNeighborhood([]string{"-figure1", "-node", "N2", "-radius", "2", "-dot"}); err != nil {
+		t.Fatalf("cmdNeighborhood dot: %v", err)
+	}
+	if err := cmdNeighborhood([]string{"-figure1", "-node", "missing"}); err == nil {
+		t.Fatal("missing node should fail")
+	}
+	if err := cmdNeighborhood([]string{"-figure1"}); err == nil {
+		t.Fatal("missing -node should fail")
+	}
+}
+
+func TestExampleListFlag(t *testing.T) {
+	var l exampleList
+	if err := l.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "a,b" {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestConsoleUserLabeling(t *testing.T) {
+	g := dataset.Figure1()
+	n := g.NeighborhoodAround("N2", 2, graph.NeighborhoodOptions{Directed: true})
+
+	// Invalid answer, then zoom, then yes.
+	in := strings.NewReader("maybe\nz\n")
+	var out bytes.Buffer
+	u := newConsoleUser(in, &out, g)
+	if d := u.LabelNode("N2", n, true); d != user.Zoom {
+		t.Fatalf("expected zoom, got %v", d)
+	}
+	if !strings.Contains(out.String(), "please answer") {
+		t.Fatalf("invalid input should be re-prompted:\n%s", out.String())
+	}
+
+	// Zoom refused when not allowed, then a no.
+	u = newConsoleUser(strings.NewReader("z\nn\n"), &out, g)
+	if d := u.LabelNode("N5", n, false); d != user.Negative {
+		t.Fatalf("expected negative, got %v", d)
+	}
+
+	// EOF defaults to negative.
+	u = newConsoleUser(strings.NewReader(""), &out, g)
+	if d := u.LabelNode("N5", n, true); d != user.Negative {
+		t.Fatalf("EOF should default to negative, got %v", d)
+	}
+}
+
+func TestConsoleUserValidateAndSatisfied(t *testing.T) {
+	g := dataset.Figure1()
+	words := [][]string{{"bus"}, {"bus", "tram", "cinema"}}
+	candidate := []string{"bus"}
+
+	// Pick the second word explicitly.
+	var out bytes.Buffer
+	u := newConsoleUser(strings.NewReader("2\n"), &out, g)
+	got := u.ValidatePath("N2", words, candidate)
+	if paths.WordKey(got) != "bus.tram.cinema" {
+		t.Fatalf("got %v", got)
+	}
+
+	// Empty line accepts the candidate; out-of-range then valid.
+	u = newConsoleUser(strings.NewReader("\n"), &out, g)
+	if got := u.ValidatePath("N2", words, candidate); paths.WordKey(got) != "bus" {
+		t.Fatalf("empty input should accept candidate, got %v", got)
+	}
+	u = newConsoleUser(strings.NewReader("9\n1\n"), &out, g)
+	if got := u.ValidatePath("N2", words, candidate); paths.WordKey(got) != "bus" {
+		t.Fatalf("expected first word, got %v", got)
+	}
+
+	// Satisfied: nil query is never satisfying; yes/no answers respected.
+	u = newConsoleUser(strings.NewReader("y\n"), &out, g)
+	if u.Satisfied(nil) {
+		t.Fatal("nil query cannot satisfy")
+	}
+	if !u.Satisfied(regex.MustParse("cinema")) {
+		t.Fatal("expected yes")
+	}
+	u = newConsoleUser(strings.NewReader("blah\nn\n"), &out, g)
+	if u.Satisfied(regex.MustParse("cinema")) {
+		t.Fatal("expected no")
+	}
+	// EOF while asking defaults to satisfied (ends the session gracefully).
+	u = newConsoleUser(strings.NewReader(""), &out, g)
+	if !u.Satisfied(regex.MustParse("cinema")) {
+		t.Fatal("EOF should end the session")
+	}
+}
+
+func TestCmdInteractiveHumanScripted(t *testing.T) {
+	// Drive the full human-mode session through a script: the generated
+	// prompts go to a buffer, the answers come from the reader. We swap
+	// os.Stdin/os.Stdout because cmdInteractive wires the console user to
+	// them directly.
+	script := "y\n\ny\nn\nn\ny\n" // label yes, accept path, not satisfied... then converge
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inW.WriteString(script); err != nil {
+		t.Fatal(err)
+	}
+	inW.Close()
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIn, oldOut := os.Stdin, os.Stdout
+	os.Stdin, os.Stdout = inR, outW
+	defer func() {
+		os.Stdin, os.Stdout = oldIn, oldOut
+		outW.Close()
+		outR.Close()
+	}()
+
+	errRun := cmdInteractive([]string{"-figure1", "-human", "-max", "2"})
+	os.Stdin, os.Stdout = oldIn, oldOut
+	outW.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(outR); err != nil {
+		t.Fatal(err)
+	}
+	if errRun != nil {
+		t.Fatalf("cmdInteractive -human: %v\noutput:\n%s", errRun, out.String())
+	}
+	if !strings.Contains(out.String(), "session ended") {
+		t.Fatalf("expected a session transcript, got:\n%s", out.String())
+	}
+}

@@ -1,0 +1,68 @@
+// Command gpsbench regenerates every experiment of EXPERIMENTS.md: the
+// figure-level reproductions of the demo paper (F1, F2, F3a, F3c), the
+// companion-style quantitative evaluation (E1, E2, E3) and the ablations
+// (AB1-AB3). By default it runs the quick configuration used in CI; -full
+// switches to the larger graphs reported in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	gpsbench              # run every experiment, quick configuration
+//	gpsbench -exp f1,e2   # run a subset
+//	gpsbench -full        # full-size graphs (minutes)
+//	gpsbench -csv         # also emit each table as CSV
+//	gpsbench -list        # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		expList = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+		full    = flag.Bool("full", false, "run the full-size configuration instead of the quick one")
+		seed    = flag.Int64("seed", 1, "seed for all pseudo-random choices")
+		csv     = flag.Bool("csv", false, "also print each result table as CSV")
+		list    = flag.Bool("list", false, "list the available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiment.Registry() {
+			fmt.Printf("%-4s %-40s %s\n", r.ID, r.Paper, r.Description)
+		}
+		return
+	}
+
+	cfg := experiment.Config{Quick: !*full, Seed: *seed}
+	runners := experiment.Registry()
+	if *expList != "" {
+		var selected []experiment.Runner
+		for _, id := range strings.Split(*expList, ",") {
+			r, ok := experiment.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gpsbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, r)
+		}
+		runners = selected
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		table := r.Run(cfg)
+		fmt.Printf("=== %s — %s ===\n", strings.ToUpper(r.ID), r.Paper)
+		fmt.Println(table.String())
+		if *csv {
+			fmt.Println(table.CSV())
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+	}
+}

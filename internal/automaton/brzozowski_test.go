@@ -1,0 +1,137 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/regex"
+)
+
+func reverseWord(w []string) []string {
+	out := make([]string, len(w))
+	for i, x := range w {
+		out[len(w)-1-i] = x
+	}
+	return out
+}
+
+func TestReverseAcceptsReversedWords(t *testing.T) {
+	e := regex.MustParse("a.b.c")
+	n := FromRegex(e)
+	r := n.Reverse()
+	if !r.Accepts([]string{"c", "b", "a"}) {
+		t.Fatal("reverse should accept c.b.a")
+	}
+	if r.Accepts([]string{"a", "b", "c"}) {
+		t.Fatal("reverse should reject the original order")
+	}
+	// Reversal of a star language over a single letter is itself.
+	star := FromRegex(regex.MustParse("a*")).Reverse()
+	if !star.Accepts(nil) || !star.Accepts([]string{"a", "a"}) {
+		t.Fatal("a* reversed is a*")
+	}
+}
+
+func TestMinimizeBrzozowskiEquivalentToHopcroftStyle(t *testing.T) {
+	exprs := []string{
+		"a",
+		"a.b+a.c",
+		"(a+b)*.a.b",
+		"a*.b*",
+		"a^+",
+		"eps",
+		"empty",
+	}
+	alphabet := []string{"a", "b", "c"}
+	for _, es := range exprs {
+		e := regex.MustParse(es)
+		n := FromRegex(e)
+		viaSubset := n.Determinize(alphabet).Minimize()
+		viaBrzozowski := n.MinimizeBrzozowski(alphabet)
+		if !Equivalent(viaSubset, viaBrzozowski) {
+			t.Errorf("%q: the two minimisation routes disagree", es)
+		}
+		if viaBrzozowski.NumStates() > viaSubset.NumStates() {
+			t.Errorf("%q: Brzozowski result has %d states, partition refinement %d",
+				es, viaBrzozowski.NumStates(), viaSubset.NumStates())
+		}
+	}
+}
+
+func TestMinimizeBrzozowskiOnPTA(t *testing.T) {
+	pta := FromWords([][]string{
+		{"bus", "tram", "cinema"},
+		{"bus", "bus", "cinema"},
+		{"cinema"},
+	})
+	min := pta.MinimizeBrzozowski([]string{"bus", "tram", "cinema"})
+	for _, w := range [][]string{{"cinema"}, {"bus", "tram", "cinema"}, {"bus", "bus", "cinema"}} {
+		if !min.Accepts(w) {
+			t.Errorf("minimal DFA should accept %v", w)
+		}
+	}
+	if min.Accepts([]string{"bus"}) {
+		t.Error("minimal DFA should not over-generalise")
+	}
+	if min.NumStates() > pta.NumStates()+1 {
+		t.Errorf("minimal DFA larger than the PTA: %d vs %d", min.NumStates(), pta.NumStates())
+	}
+}
+
+func TestPropertyReverseTwiceIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		n := FromRegex(e)
+		rr := n.Reverse().Reverse()
+		for i := 0; i < 8; i++ {
+			w := randomWord(r, 4)
+			if n.Accepts(w) != rr.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyReverseAcceptsMirror(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		n := FromRegex(e)
+		rev := n.Reverse()
+		for i := 0; i < 8; i++ {
+			w := randomWord(r, 4)
+			if n.Accepts(w) != rev.Accepts(reverseWord(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBrzozowskiMatchesLanguage(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		n := FromRegex(e)
+		min := n.MinimizeBrzozowski([]string{"a", "b", "c"})
+		for i := 0; i < 8; i++ {
+			w := randomWord(r, 4)
+			if e.Matches(w) != min.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package automaton
+
+import "sort"
+
+// mergedAlphabet returns the union of two alphabets in sorted order.
+func mergedAlphabet(a, b []string) []string {
+	set := make(map[string]bool, len(a)+len(b))
+	for _, l := range a {
+		set[l] = true
+	}
+	for _, l := range b {
+		set[l] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// expand returns a DFA over the larger alphabet that accepts the same
+// language as d: new labels lead to a fresh rejecting sink.
+func (d *DFA) expand(alphabet []string) *DFA {
+	same := len(alphabet) == len(d.alphabet)
+	if same {
+		for i := range alphabet {
+			if alphabet[i] != d.alphabet[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return d
+	}
+	out := NewDFA(alphabet)
+	// Map old states to new: state i -> i (allocate as needed), plus sink.
+	for out.NumStates() < d.NumStates() {
+		out.AddState()
+	}
+	sink := out.AddState()
+	for _, l := range alphabet {
+		out.SetTransition(sink, l, sink)
+	}
+	for s := State(0); s < State(d.NumStates()); s++ {
+		if d.accepting[s] {
+			out.SetAccepting(s, true)
+		}
+		for _, l := range alphabet {
+			if next, ok := d.Next(s, l); ok && containsLabel(d.alphabet, l) {
+				out.SetTransition(s, l, next)
+			} else {
+				out.SetTransition(s, l, sink)
+			}
+		}
+	}
+	out.SetStart(d.start)
+	return out
+}
+
+func containsLabel(labels []string, l string) bool {
+	for _, x := range labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// product builds the product DFA of a and b with the given acceptance
+// combinator.
+func product(a, b *DFA, accept func(bool, bool) bool) *DFA {
+	alphabet := mergedAlphabet(a.alphabet, b.alphabet)
+	a = a.expand(alphabet)
+	b = b.expand(alphabet)
+	out := NewDFA(alphabet)
+	type pair struct{ x, y State }
+	ids := map[pair]State{{a.start, b.start}: out.start}
+	queue := []pair{{a.start, b.start}}
+	setAccept := func(p pair, s State) {
+		if accept(a.accepting[p.x], b.accepting[p.y]) {
+			out.SetAccepting(s, true)
+		}
+	}
+	setAccept(pair{a.start, b.start}, out.start)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curID := ids[cur]
+		for _, l := range alphabet {
+			nx, _ := a.Next(cur.x, l)
+			ny, _ := b.Next(cur.y, l)
+			np := pair{nx, ny}
+			id, ok := ids[np]
+			if !ok {
+				id = out.AddState()
+				ids[np] = id
+				setAccept(np, id)
+				queue = append(queue, np)
+			}
+			out.SetTransition(curID, l, id)
+		}
+	}
+	return out
+}
+
+// Intersect returns a DFA accepting the intersection of the two languages.
+func Intersect(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x && y })
+}
+
+// UnionDFA returns a DFA accepting the union of the two languages.
+func UnionDFA(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x || y })
+}
+
+// Difference returns a DFA accepting L(a) \ L(b).
+func Difference(a, b *DFA) *DFA {
+	return product(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// Complement returns a DFA accepting the complement of d's language with
+// respect to the given alphabet (words over that alphabet not in L(d)).
+func (d *DFA) Complement(alphabet []string) *DFA {
+	full := mergedAlphabet(d.alphabet, alphabet)
+	e := d.expand(full)
+	out := NewDFA(full)
+	for out.NumStates() < e.NumStates() {
+		out.AddState()
+	}
+	for s := State(0); s < State(e.NumStates()); s++ {
+		if !e.accepting[s] {
+			out.SetAccepting(s, true)
+		}
+		for _, l := range full {
+			next, _ := e.Next(s, l)
+			out.SetTransition(s, l, next)
+		}
+	}
+	out.SetStart(e.start)
+	return out
+}
+
+// Subset reports whether L(a) ⊆ L(b).
+func Subset(a, b *DFA) bool {
+	return Difference(a, b).IsEmpty()
+}
+
+// Equivalent reports whether the two DFAs accept the same language.
+func Equivalent(a, b *DFA) bool {
+	return Subset(a, b) && Subset(b, a)
+}
+
+// EquivalentNFA reports whether the two NFAs accept the same language.
+func EquivalentNFA(a, b *NFA) bool {
+	alphabet := mergedAlphabet(a.Labels(), b.Labels())
+	return Equivalent(a.Determinize(alphabet), b.Determinize(alphabet))
+}
+
+// CounterExample returns a word accepted by exactly one of the DFAs, and
+// ok=false if the DFAs are equivalent.
+func CounterExample(a, b *DFA) ([]string, bool) {
+	if w, ok := Difference(a, b).SomeWord(); ok {
+		return w, true
+	}
+	return Difference(b, a).SomeWord()
+}

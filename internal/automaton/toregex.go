@@ -1,0 +1,154 @@
+package automaton
+
+import (
+	"sort"
+
+	"repro/internal/regex"
+)
+
+// ToRegex converts the NFA into a regular expression denoting the same
+// language, by state elimination on a generalised NFA whose transitions
+// carry expressions. The result is the learner's human-readable output.
+func (n *NFA) ToRegex() *regex.Expr {
+	if len(n.accepting) == 0 {
+		return regex.Empty()
+	}
+	// Generalised NFA with fresh initial and final states.
+	type key struct{ from, to State }
+	edges := make(map[key]*regex.Expr)
+	addEdge := func(from, to State, e *regex.Expr) {
+		if e == nil || e.Kind == regex.KindEmpty {
+			return
+		}
+		if existing, ok := edges[key{from, to}]; ok {
+			edges[key{from, to}] = regex.Union(existing, e)
+		} else {
+			edges[key{from, to}] = e
+		}
+	}
+
+	// States are 0..numStates-1; use numStates as the new start and
+	// numStates+1 as the new single accepting state.
+	newStart := State(n.numStates)
+	newAccept := State(n.numStates + 1)
+	addEdge(newStart, n.start, regex.Eps())
+	for s := range n.accepting {
+		addEdge(s, newAccept, regex.Eps())
+	}
+	for from := State(0); from < State(n.numStates); from++ {
+		for label, targets := range n.trans[from] {
+			var e *regex.Expr
+			if label == Epsilon {
+				e = regex.Eps()
+			} else {
+				e = regex.Sym(label)
+			}
+			for _, to := range targets {
+				addEdge(from, to, e)
+			}
+		}
+	}
+
+	// Eliminate internal states one by one, in increasing order.
+	order := make([]State, 0, n.numStates)
+	for s := State(0); s < State(n.numStates); s++ {
+		order = append(order, s)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	for _, victim := range order {
+		// Self loop on the victim.
+		selfLoop := edges[key{victim, victim}]
+		var loop *regex.Expr
+		if selfLoop != nil {
+			loop = regex.Star(selfLoop)
+		} else {
+			loop = regex.Eps()
+		}
+		// Incoming and outgoing edges (excluding self loops).
+		var ins, outs []key
+		for k := range edges {
+			if k.to == victim && k.from != victim {
+				ins = append(ins, k)
+			}
+			if k.from == victim && k.to != victim {
+				outs = append(outs, k)
+			}
+		}
+		sort.Slice(ins, func(i, j int) bool { return ins[i].from < ins[j].from })
+		sort.Slice(outs, func(i, j int) bool { return outs[i].to < outs[j].to })
+		for _, in := range ins {
+			for _, out := range outs {
+				bridge := regex.Concat(edges[in], loop, edges[out])
+				addEdge(in.from, out.to, bridge)
+			}
+		}
+		// Remove all edges touching the victim.
+		for k := range edges {
+			if k.from == victim || k.to == victim {
+				delete(edges, k)
+			}
+		}
+	}
+
+	if e, ok := edges[key{newStart, newAccept}]; ok {
+		return simplifyEps(e)
+	}
+	return regex.Empty()
+}
+
+// simplifyEps removes redundant ε members produced by state elimination,
+// e.g. "eps.a" is already handled by the smart constructors, but unions
+// such as "eps+a.a*" can be rewritten to "a*". The rewrite is conservative:
+// it only applies simplifications that preserve the language.
+func simplifyEps(e *regex.Expr) *regex.Expr {
+	if e == nil {
+		return regex.Empty()
+	}
+	switch e.Kind {
+	case regex.KindUnion:
+		subs := make([]*regex.Expr, 0, len(e.Subs))
+		hasEps := false
+		for _, s := range e.Subs {
+			s = simplifyEps(s)
+			if s.Kind == regex.KindEps {
+				hasEps = true
+				continue
+			}
+			subs = append(subs, s)
+		}
+		if !hasEps {
+			return regex.Union(subs...)
+		}
+		// eps + r⁺  =>  r*, eps + r => r?  (r not nullable), eps + r => r
+		// (r nullable).
+		if len(subs) == 1 {
+			s := subs[0]
+			if s.Kind == regex.KindPlus {
+				return regex.Star(s.Sub)
+			}
+			if s.Nullable() {
+				return s
+			}
+			return regex.Opt(s)
+		}
+		u := regex.Union(subs...)
+		if u.Nullable() {
+			return u
+		}
+		return regex.Opt(u)
+	case regex.KindConcat:
+		subs := make([]*regex.Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[i] = simplifyEps(s)
+		}
+		return regex.Concat(subs...)
+	case regex.KindStar:
+		return regex.Star(simplifyEps(e.Sub))
+	case regex.KindPlus:
+		return regex.Plus(simplifyEps(e.Sub))
+	case regex.KindOpt:
+		return regex.Opt(simplifyEps(e.Sub))
+	}
+	return e
+}

@@ -1,0 +1,168 @@
+// Package core is the top-level facade of GPS — the "system for interactive
+// Graph Path query Specification" of the paper. It ties together the graph
+// store, the RPQ evaluator, the learner and the interactive engine behind a
+// small API that the command-line front-end and the examples use:
+//
+//	sys := core.New(g)
+//	result := sys.Evaluate(regex.MustParse("(tram+bus)*.cinema"))
+//	tr, _ := sys.InteractiveSession(aUser, core.SessionConfig{PathValidation: true})
+//	learned, _ := sys.LearnFromExamples(sample)
+//
+// Everything the facade exposes is also available from the underlying
+// packages; core exists so that a downstream user has one obvious entry
+// point.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/interactive"
+	"repro/internal/learn"
+	"repro/internal/regex"
+	"repro/internal/rpq"
+	"repro/internal/user"
+)
+
+// System wraps one graph database and offers query evaluation, learning and
+// interactive specification on it.
+type System struct {
+	g *graph.Graph
+}
+
+// New returns a System over the given graph database.
+func New(g *graph.Graph) *System {
+	return &System{g: g}
+}
+
+// Graph returns the underlying graph database.
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// QueryResult is the answer of a path query on the system's graph.
+type QueryResult struct {
+	// Query is the evaluated query.
+	Query *regex.Expr
+	// Nodes is the sorted list of selected nodes.
+	Nodes []graph.NodeID
+	// Witnesses maps each selected node to one shortest witness path.
+	Witnesses map[graph.NodeID][]graph.Edge
+}
+
+// Evaluate runs a path query and returns the selected nodes together with a
+// shortest witness path for each.
+func (s *System) Evaluate(query *regex.Expr) *QueryResult {
+	engine := rpq.New(s.g, query)
+	res := &QueryResult{
+		Query:     query,
+		Nodes:     engine.Selected(),
+		Witnesses: make(map[graph.NodeID][]graph.Edge),
+	}
+	for _, node := range res.Nodes {
+		if w, ok := engine.Witness(node); ok {
+			res.Witnesses[node] = w
+		}
+	}
+	return res
+}
+
+// EvaluateString parses and evaluates a query written in the paper's
+// syntax.
+func (s *System) EvaluateString(query string) (*QueryResult, error) {
+	q, err := regex.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return s.Evaluate(q), nil
+}
+
+// LearnFromExamples runs the two-step learning algorithm on a sample of
+// labelled nodes and returns the learned query.
+func (s *System) LearnFromExamples(sample *learn.Sample) (*learn.Result, error) {
+	return learn.Learn(s.g, sample, learn.Options{})
+}
+
+// LearnFromExamplesWith runs the learner with explicit options.
+func (s *System) LearnFromExamplesWith(sample *learn.Sample, opts learn.Options) (*learn.Result, error) {
+	return learn.Learn(s.g, sample, opts)
+}
+
+// SessionConfig configures an interactive specification session.
+type SessionConfig struct {
+	// Strategy names the node-proposal strategy: "informative" (default),
+	// "random", "hybrid" or "disagreement".
+	Strategy string
+	// Seed drives the random strategy.
+	Seed int64
+	// PathValidation enables the path-validation step (third demo
+	// scenario).
+	PathValidation bool
+	// InitialRadius is the first neighbourhood radius shown (default 2).
+	InitialRadius int
+	// MaxInteractions bounds the number of label interactions.
+	MaxInteractions int
+	// MaxPathLength bounds witness search and informativeness counting.
+	MaxPathLength int
+}
+
+// strategyByName resolves a strategy name.
+func strategyByName(cfg SessionConfig) (interactive.Strategy, error) {
+	switch cfg.Strategy {
+	case "", "informative":
+		return &interactive.InformativeStrategy{MaxPathLength: cfg.MaxPathLength}, nil
+	case "random":
+		return interactive.NewRandomStrategy(cfg.Seed), nil
+	case "hybrid":
+		return &interactive.HybridStrategy{MaxPathLength: cfg.MaxPathLength}, nil
+	case "disagreement":
+		return &interactive.DisagreementStrategy{MaxPathLength: cfg.MaxPathLength}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %q (want informative, random, hybrid or disagreement)", cfg.Strategy)
+	}
+}
+
+// InteractiveSession runs the Figure 2 loop against the given user and
+// returns the transcript.
+func (s *System) InteractiveSession(u user.User, cfg SessionConfig) (*interactive.Transcript, error) {
+	strat, err := strategyByName(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return interactive.Run(s.g, u, interactive.Options{
+		Strategy:        strat,
+		InitialRadius:   cfg.InitialRadius,
+		PathValidation:  cfg.PathValidation,
+		MaxInteractions: cfg.MaxInteractions,
+		Learn:           learn.Options{MaxPathLength: cfg.MaxPathLength},
+	})
+}
+
+// StaticSession runs the static-labelling scenario (first demo part)
+// against the given user.
+func (s *System) StaticSession(u user.User, choice user.StaticChoice, maxLabels int) *interactive.StaticResult {
+	return interactive.RunStatic(s.g, u, interactive.StaticOptions{Choice: choice, MaxLabels: maxLabels})
+}
+
+// SimulateUser returns a simulated user pursuing the goal query on the
+// system's graph, for demos and experiments.
+func (s *System) SimulateUser(goal *regex.Expr) *user.Simulated {
+	return user.NewSimulated(s.g, goal)
+}
+
+// EquivalentQueries reports whether two queries denote the same language
+// (not merely the same answer set on a particular graph).
+func EquivalentQueries(a, b *regex.Expr) bool {
+	return automaton.EquivalentNFA(automaton.FromRegex(a), automaton.FromRegex(b))
+}
+
+// SameAnswerSet reports whether two queries select exactly the same nodes
+// of the system's graph.
+func (s *System) SameAnswerSet(a, b *regex.Expr) bool {
+	ea, eb := rpq.New(s.g, a), rpq.New(s.g, b)
+	for _, n := range s.g.Nodes() {
+		if ea.Selects(n) != eb.Selects(n) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/interactive"
+	"repro/internal/learn"
+	"repro/internal/rpq"
+	"repro/internal/stats"
+	"repro/internal/user"
+)
+
+// AblationWitnessOrder compares shortest-first against longest-first
+// witness selection in step 1 of the learner (paths are chosen by the
+// system, as in the scenario without path validation). Shorter witnesses
+// give smaller prefix trees and faster learning, but generalise to queries
+// that are further from the goal.
+func AblationWitnessOrder(cfg Config) *stats.Table {
+	table := stats.NewTable(
+		"Ablation 1 — witness selection order (no path validation, Figure 1 + transport graphs)",
+		"witness order", "runs", "consistent", "goal answer set recovered", "mean learned query size")
+	goal := figure2Goal()
+	orders := []learn.WitnessOrder{learn.WitnessShortest, learn.WitnessLongest}
+	names := []string{"shortest-first", "longest-first"}
+	reps := cfg.repetitions()
+	for i, order := range orders {
+		runs, consistent, recovered := 0, 0, 0
+		var sizes []float64
+		for rep := 0; rep < reps; rep++ {
+			seed := cfg.Seed + int64(rep)
+			g := dataset.Transport(dataset.TransportOptions{Rows: 4, Cols: 4, Seed: seed, FacilityRate: 0.4})
+			if len(rpq.Evaluate(g, goal)) == 0 {
+				continue
+			}
+			sample, ok := sampleFromGoal(g, goal, 4, 4)
+			if !ok {
+				continue
+			}
+			// Strip the validated words: the learner must pick witnesses
+			// itself, which is what this ablation studies.
+			stripped := learn.NewSample()
+			for _, n := range sample.PositiveNodes() {
+				stripped.AddPositive(n, nil)
+			}
+			for _, n := range sample.Negatives {
+				stripped.AddNegative(n)
+			}
+			runs++
+			res, err := learn.Learn(g, stripped, learn.Options{WitnessOrder: order, MaxPathLength: pathBound(4)})
+			if err != nil {
+				continue
+			}
+			if learn.Consistent(g, res.Query, stripped) {
+				consistent++
+			}
+			if sameAnswerSet(g, res.Query, goal) {
+				recovered++
+			}
+			sizes = append(sizes, float64(res.Query.Size()))
+		}
+		table.AddRow(names[i], runs,
+			fmt.Sprintf("%d/%d", consistent, runs),
+			fmt.Sprintf("%d/%d", recovered, runs),
+			stats.Summarize(sizes).Mean)
+	}
+	return table
+}
+
+// AblationMergeOrder compares the BFS merge order against the
+// evidence-weighted order in the generalisation step, reporting the number
+// of candidate merges tried (the learner's work) and the size of the
+// learned query.
+func AblationMergeOrder(cfg Config) *stats.Table {
+	table := stats.NewTable(
+		"Ablation 2 — state-merging order (validated witnesses, transport graphs)",
+		"merge order", "runs", "mean candidate merges", "mean accepted merges", "mean learned query size", "consistent")
+	goal := figure2Goal()
+	orders := []learn.MergeOrder{learn.MergeBFS, learn.MergeEvidence}
+	names := []string{"bfs", "evidence-weighted"}
+	reps := cfg.repetitions()
+	for i, order := range orders {
+		runs, consistent := 0, 0
+		var candidates, accepted, sizes []float64
+		for rep := 0; rep < reps; rep++ {
+			seed := cfg.Seed + int64(rep)
+			g := dataset.Transport(dataset.TransportOptions{Rows: 4, Cols: 4, Seed: seed, FacilityRate: 0.4})
+			if len(rpq.Evaluate(g, goal)) == 0 {
+				continue
+			}
+			sample, ok := sampleFromGoal(g, goal, 4, 4)
+			if !ok {
+				continue
+			}
+			runs++
+			res, err := learn.Learn(g, sample, learn.Options{MergeOrder: order, MaxPathLength: pathBound(4)})
+			if err != nil {
+				continue
+			}
+			candidates = append(candidates, float64(res.CandidateMerges))
+			accepted = append(accepted, float64(res.Merges))
+			sizes = append(sizes, float64(res.Query.Size()))
+			if learn.Consistent(g, res.Query, sample) {
+				consistent++
+			}
+		}
+		table.AddRow(names[i], runs,
+			stats.Summarize(candidates).Mean,
+			stats.Summarize(accepted).Mean,
+			stats.Summarize(sizes).Mean,
+			fmt.Sprintf("%d/%d", consistent, runs))
+	}
+	return table
+}
+
+// AblationNeighborhoodRadius compares initial neighbourhood radii 1, 2
+// (the paper's choice) and 3: a smaller initial radius means more zoom
+// requests, a larger one means bigger fragments the user must read.
+func AblationNeighborhoodRadius(cfg Config) *stats.Table {
+	table := stats.NewTable(
+		"Ablation 3 — initial neighbourhood radius (interactive sessions, goal (tram+bus)*.cinema)",
+		"initial radius", "runs", "mean labels", "mean zooms", "converged")
+	goal := figure2Goal()
+	reps := cfg.repetitions()
+	for _, radius := range []int{1, 2, 3} {
+		runs, converged := 0, 0
+		var labels, zooms []float64
+		for rep := 0; rep < reps; rep++ {
+			seed := cfg.Seed + int64(rep)
+			g := dataset.Transport(dataset.TransportOptions{Rows: 4, Cols: 4, Seed: seed, FacilityRate: 0.4})
+			if len(rpq.Evaluate(g, goal)) == 0 {
+				continue
+			}
+			runs++
+			u := user.NewSimulated(g, goal)
+			u.MaxZoom = 4
+			tr, err := interactive.Run(g, u, interactive.Options{
+				InitialRadius:   radius,
+				MaxRadius:       radius + 4,
+				PathValidation:  true,
+				MaxInteractions: g.NumNodes(),
+				Learn:           learn.Options{MaxPathLength: pathBound(4)},
+			})
+			if err != nil {
+				continue
+			}
+			labels = append(labels, float64(tr.Labels()))
+			zooms = append(zooms, float64(tr.ZoomsTotal))
+			if tr.Halt == interactive.HaltSatisfied {
+				converged++
+			}
+		}
+		table.AddRow(radius, runs,
+			stats.Summarize(labels).Mean,
+			stats.Summarize(zooms).Mean,
+			fmt.Sprintf("%d/%d", converged, runs))
+	}
+	return table
+}

@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The text format is a line-oriented edge list:
+//
+//	# comment
+//	node <id> [key=value ...]
+//	edge <from> <label> <to>
+//
+// Blank lines and lines starting with '#' are ignored. A bare "node" line
+// is only needed for isolated nodes or to attach attributes.
+
+// WriteText serialises the graph in the line-oriented text format.
+func (g *Graph) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, id := range g.Nodes() {
+		attrs := g.attrs[id]
+		if len(attrs) == 0 {
+			if g.OutDegree(id) == 0 && g.InDegree(id) == 0 {
+				if _, err := fmt.Fprintf(bw, "node %s\n", id); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, attrs[k]))
+		}
+		if _, err := fmt.Fprintf(bw, "node %s %s\n", id, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "edge %s %s %s\n", e.From, e.Label, e.To); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Text returns the text serialisation as a string.
+func (g *Graph) Text() string {
+	var sb strings.Builder
+	if err := g.WriteText(&sb); err != nil {
+		panic(err) // strings.Builder never fails
+	}
+	return sb.String()
+}
+
+// ReadText parses a graph from the line-oriented text format.
+func ReadText(r io.Reader) (*Graph, error) {
+	g := New()
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: node requires an id", lineNo)
+			}
+			id := NodeID(fields[1])
+			if err := g.AddNode(id); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return nil, fmt.Errorf("graph: line %d: malformed attribute %q", lineNo, kv)
+				}
+				if err := g.SetAttr(id, k, v); err != nil {
+					return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+				}
+			}
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge requires <from> <label> <to>", lineNo)
+			}
+			if err := g.AddEdge(NodeID(fields[1]), Label(fields[2]), NodeID(fields[3])); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	return g, nil
+}
+
+// ParseText parses a graph from a string in the text format.
+func ParseText(s string) (*Graph, error) {
+	return ReadText(strings.NewReader(s))
+}
+
+// jsonGraph is the JSON wire form.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	ID    string            `json:"id"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+type jsonEdge struct {
+	From  string `json:"from"`
+	Label string `json:"label"`
+	To    string `json:"to"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{}
+	for _, id := range g.Nodes() {
+		n := jsonNode{ID: string(id)}
+		if attrs := g.attrs[id]; len(attrs) > 0 {
+			n.Attrs = make(map[string]string, len(attrs))
+			for k, v := range attrs {
+				n.Attrs[k] = v
+			}
+		}
+		jg.Nodes = append(jg.Nodes, n)
+	}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, jsonEdge{From: string(e.From), Label: string(e.Label), To: string(e.To)})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: unmarshal: %w", err)
+	}
+	*g = *New()
+	for _, n := range jg.Nodes {
+		if err := g.AddNode(NodeID(n.ID)); err != nil {
+			return err
+		}
+		for k, v := range n.Attrs {
+			if err := g.SetAttr(NodeID(n.ID), k, v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range jg.Edges {
+		if err := g.AddEdge(NodeID(e.From), Label(e.Label), NodeID(e.To)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

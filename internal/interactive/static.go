@@ -1,0 +1,98 @@
+package interactive
+
+import (
+	"repro/internal/graph"
+	"repro/internal/learn"
+	"repro/internal/regex"
+	"repro/internal/user"
+)
+
+// StaticOptions configures the static-labelling scenario (first part of the
+// demonstration): the user explores the graph herself, without guidance,
+// and labels nodes in whatever order she chooses. No pruning of
+// uninformative nodes takes place, and inconsistent labelling is possible
+// (e.g. with a noisy user).
+type StaticOptions struct {
+	// Choice picks the next node the user inspects; nil means a random
+	// order with seed 1.
+	Choice user.StaticChoice
+	// MaxLabels bounds the number of labels. Zero means the number of
+	// nodes of the graph.
+	MaxLabels int
+	// Learn configures the learner invoked after each label.
+	Learn learn.Options
+}
+
+// StaticResult is the outcome of a static-labelling run.
+type StaticResult struct {
+	// Labels is the number of nodes the user labelled.
+	Labels int
+	// Final is the last successfully learned query (nil if none).
+	Final *regex.Expr
+	// Inconsistent reports whether the collected sample became
+	// inconsistent at some point (only possible with erroneous labels).
+	Inconsistent bool
+	// Satisfied reports whether the user declared the final query
+	// satisfactory.
+	Satisfied bool
+	// Sample is the final example set.
+	Sample *learn.Sample
+}
+
+// RunStatic simulates the static-labelling scenario with the given user:
+// the user inspects nodes in her own order, labels each, and the system
+// learns after every label, stopping when the user is satisfied, the label
+// budget is exhausted, or no unlabelled node remains.
+func RunStatic(g *graph.Graph, u user.User, opts StaticOptions) *StaticResult {
+	choice := opts.Choice
+	if choice == nil {
+		choice = user.NewRandomChoice(1)
+	}
+	maxLabels := opts.MaxLabels
+	if maxLabels <= 0 {
+		maxLabels = g.NumNodes()
+	}
+	learnOpts := opts.Learn
+	if learnOpts.MaxPathLength <= 0 {
+		learnOpts.MaxPathLength = learn.DefaultMaxPathLength
+	}
+
+	res := &StaticResult{Sample: learn.NewSample()}
+	labeled := make(map[graph.NodeID]bool)
+	for res.Labels < maxLabels {
+		node, ok := choice.NextNode(g, labeled)
+		if !ok {
+			break
+		}
+		labeled[node] = true
+		// In the static scenario the user sees the whole graph at once (the
+		// paper's point is precisely that this is hard); the neighbourhood
+		// passed to the user is the full graph.
+		full := g.NeighborhoodAround(node, g.NumNodes(), graph.NeighborhoodOptions{Directed: true})
+		switch u.LabelNode(node, full, false) {
+		case user.Positive:
+			res.Sample.AddPositive(node, nil)
+		case user.Negative:
+			res.Sample.AddNegative(node)
+		default:
+			// Zoom is meaningless here; count the inspection but skip the
+			// label.
+			continue
+		}
+		res.Labels++
+		learned, err := learn.Learn(g, res.Sample, learnOpts)
+		if err != nil {
+			// The system points out that the labels are inconsistent, as in
+			// the demo; the user would then revisit her labels, which we
+			// model by simply recording the inconsistency and stopping.
+			res.Inconsistent = true
+			return res
+		}
+		res.Final = learned.Query
+		if u.Satisfied(learned.Query) {
+			res.Satisfied = true
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,250 @@
+// Package interactive implements the interactive scenario of Figure 2: the
+// loop that proposes informative nodes to the user, shows zoomable
+// neighbourhood fragments, collects labels and validated paths, propagates
+// labels by pruning uninformative nodes, and learns a query after each
+// interaction.
+package interactive
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/learn"
+	"repro/internal/paths"
+	"repro/internal/regex"
+	"repro/internal/rpq"
+)
+
+// Strategy is the node-proposal function Υ of the paper: given the graph
+// and the current example set it returns the next node to ask the user
+// about. Nodes already labelled or pruned must not be proposed.
+type Strategy interface {
+	// Name identifies the strategy in transcripts and experiment tables.
+	Name() string
+	// Propose returns the next node to label. ok=false means no
+	// informative node remains.
+	Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool)
+}
+
+// candidateNodes lists nodes that are neither labelled nor excluded, in
+// sorted order for determinism.
+func candidateNodes(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) []graph.NodeID {
+	var out []graph.NodeID
+	for _, id := range g.Nodes() {
+		if sample.Labeled(id) || excluded[id] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// RandomStrategy proposes an unlabelled, unpruned node uniformly at random.
+// It is the baseline strategy in the experiments.
+type RandomStrategy struct {
+	rng *rand.Rand
+}
+
+// NewRandomStrategy returns a RandomStrategy seeded deterministically.
+func NewRandomStrategy(seed int64) *RandomStrategy {
+	return &RandomStrategy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Strategy.
+func (s *RandomStrategy) Name() string { return "random" }
+
+// Propose implements Strategy.
+func (s *RandomStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
+	candidates := candidateNodes(g, sample, excluded)
+	if len(candidates) == 0 {
+		return "", false
+	}
+	return candidates[s.rng.Intn(len(candidates))], true
+}
+
+// InformativeStrategy proposes the node with the largest number of
+// bounded-length paths not covered by the current negative examples — the
+// practical strategy the paper describes: "seek the nodes having an
+// important number of paths that are shorter than a fixed bound and not
+// covered by any negative node". Nodes with zero uncovered paths are
+// uninformative and never proposed.
+type InformativeStrategy struct {
+	// MaxPathLength is the path-length bound; zero means
+	// learn.DefaultMaxPathLength.
+	MaxPathLength int
+}
+
+// Name implements Strategy.
+func (s *InformativeStrategy) Name() string { return "informative" }
+
+// Propose implements Strategy.
+func (s *InformativeStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
+	bound := s.MaxPathLength
+	if bound <= 0 {
+		bound = learn.DefaultMaxPathLength
+	}
+	cov := paths.NewCoverage(g, sample.Negatives, bound)
+	best := graph.NodeID("")
+	bestCount := 0
+	for _, id := range candidateNodes(g, sample, excluded) {
+		count := paths.CountUncoveredWith(g, id, bound, cov)
+		if count > bestCount || (count == bestCount && count > 0 && (best == "" || id < best)) {
+			best, bestCount = id, count
+		}
+	}
+	if bestCount == 0 {
+		return "", false
+	}
+	return best, true
+}
+
+// DisagreementStrategy is an extension beyond the paper's count-based
+// strategy: it proposes the node whose label is most likely to change the
+// current hypothesis (the query learned so far). Nodes the hypothesis
+// selects but that have few uncovered paths are likely false positives
+// (their negative label immediately corrects the hypothesis); nodes the
+// hypothesis does not select but that have many uncovered paths are likely
+// false negatives (their positive label extends it). Before any query has
+// been learned it behaves like InformativeStrategy.
+//
+// The session feeds the hypothesis in through SetHypothesis before each
+// proposal (see the HypothesisAware interface).
+type DisagreementStrategy struct {
+	// MaxPathLength is the path-length bound; zero means
+	// learn.DefaultMaxPathLength.
+	MaxPathLength int
+
+	hypothesis *regex.Expr
+}
+
+// Name implements Strategy.
+func (s *DisagreementStrategy) Name() string { return "disagreement" }
+
+// SetHypothesis implements HypothesisAware.
+func (s *DisagreementStrategy) SetHypothesis(q *regex.Expr) { s.hypothesis = q }
+
+// Propose implements Strategy.
+func (s *DisagreementStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
+	bound := s.MaxPathLength
+	if bound <= 0 {
+		bound = learn.DefaultMaxPathLength
+	}
+	cov := paths.NewCoverage(g, sample.Negatives, bound)
+	candidates := candidateNodes(g, sample, excluded)
+	counts := make(map[graph.NodeID]int, len(candidates))
+	maxCount := 0
+	for _, id := range candidates {
+		c := paths.CountUncoveredWith(g, id, bound, cov)
+		counts[id] = c
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		return "", false
+	}
+	if s.hypothesis == nil || s.hypothesis.IsEmptyLanguage() {
+		// No usable hypothesis yet: behave like the informative strategy.
+		return bestByCount(candidates, counts)
+	}
+	engine := rpq.New(g, s.hypothesis)
+	best := graph.NodeID("")
+	bestScore := -1
+	for _, id := range candidates {
+		if counts[id] == 0 {
+			continue // uninformative, never propose
+		}
+		// Likely false positive: hypothesis selects it, few uncovered
+		// paths. Likely false negative: hypothesis misses it, many
+		// uncovered paths.
+		var score int
+		if engine.Selects(id) {
+			score = maxCount - counts[id]
+		} else {
+			score = counts[id]
+		}
+		if score > bestScore || (score == bestScore && id < best) {
+			best, bestScore = id, score
+		}
+	}
+	if best == "" {
+		return "", false
+	}
+	return best, true
+}
+
+func bestByCount(candidates []graph.NodeID, counts map[graph.NodeID]int) (graph.NodeID, bool) {
+	best := graph.NodeID("")
+	bestCount := 0
+	for _, id := range candidates {
+		if counts[id] > bestCount || (counts[id] == bestCount && counts[id] > 0 && (best == "" || id < best)) {
+			best, bestCount = id, counts[id]
+		}
+	}
+	if bestCount == 0 {
+		return "", false
+	}
+	return best, true
+}
+
+// HypothesisAware is implemented by strategies that want to see the query
+// learned so far; the session calls SetHypothesis before each proposal.
+type HypothesisAware interface {
+	SetHypothesis(q *regex.Expr)
+}
+
+// HybridStrategy proposes high-degree nodes first (cheap to compute) and
+// falls back to the informative count to break ties. It trades a little
+// precision for speed on large graphs, matching the paper's requirement
+// that the user "does not have to wait too much between two consecutive
+// interactions".
+type HybridStrategy struct {
+	// MaxPathLength bounds the tie-breaking informativeness computation.
+	MaxPathLength int
+	// TopK is how many highest-out-degree candidates are scored exactly.
+	// Zero means 8.
+	TopK int
+}
+
+// Name implements Strategy.
+func (s *HybridStrategy) Name() string { return "hybrid" }
+
+// Propose implements Strategy.
+func (s *HybridStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
+	bound := s.MaxPathLength
+	if bound <= 0 {
+		bound = learn.DefaultMaxPathLength
+	}
+	topK := s.TopK
+	if topK <= 0 {
+		topK = 8
+	}
+	candidates := candidateNodes(g, sample, excluded)
+	if len(candidates) == 0 {
+		return "", false
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		di, dj := g.OutDegree(candidates[i]), g.OutDegree(candidates[j])
+		if di != dj {
+			return di > dj
+		}
+		return candidates[i] < candidates[j]
+	})
+	if len(candidates) > topK {
+		candidates = candidates[:topK]
+	}
+	cov := paths.NewCoverage(g, sample.Negatives, bound)
+	best := graph.NodeID("")
+	bestCount := 0
+	for _, id := range candidates {
+		count := paths.CountUncoveredWith(g, id, bound, cov)
+		if count > bestCount {
+			best, bestCount = id, count
+		}
+	}
+	if bestCount == 0 {
+		return "", false
+	}
+	return best, true
+}

@@ -1,0 +1,369 @@
+// Package learn implements the query learning algorithm at the heart of
+// GPS. Following the paper (Section 2), learning a path query consistent
+// with a set of node examples proceeds in two steps:
+//
+//  1. for each positive example, find a path (word) that is not covered by
+//     any negative example — i.e. no negative node has a path spelling it;
+//  2. build a prefix-tree automaton recognising precisely those words and
+//     generalise it by state merges as long as no negative example becomes
+//     selected by the generalised automaton.
+//
+// The generalised automaton is finally converted back to a regular
+// expression (the learned query). When the user validated paths of
+// interest (the third demonstration scenario), those validated words are
+// used directly in step 1, which is what guarantees that the learned query
+// generalises the paths the user cares about.
+package learn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/paths"
+	"repro/internal/regex"
+	"repro/internal/rpq"
+)
+
+// WitnessOrder selects how step 1 picks a witness word for a positive
+// example when the user has not validated one.
+type WitnessOrder int
+
+const (
+	// WitnessShortest picks a shortest uncovered word (ties broken
+	// lexicographically). This is the default used by the paper's scenario
+	// without path validation.
+	WitnessShortest WitnessOrder = iota
+	// WitnessLongest picks a longest uncovered word within the length
+	// bound. Used by the ablation study.
+	WitnessLongest
+)
+
+// MergeOrder selects the order in which candidate state merges are tried.
+type MergeOrder int
+
+const (
+	// MergeBFS tries merges in breadth-first state order (RPNI-like).
+	MergeBFS MergeOrder = iota
+	// MergeEvidence tries merging states with the largest combined number
+	// of outgoing transitions first, preferring merges supported by more
+	// evidence. Used by the ablation study.
+	MergeEvidence
+)
+
+// Options configures the learner.
+type Options struct {
+	// MaxPathLength bounds the witness words considered in step 1 for
+	// positives without a validated path. Zero means DefaultMaxPathLength.
+	MaxPathLength int
+	// WitnessOrder picks the witness selection rule.
+	WitnessOrder WitnessOrder
+	// MergeOrder picks the merge ordering.
+	MergeOrder MergeOrder
+	// DisableGeneralization skips step 2 and returns the disjunction of
+	// the witness words. Used to measure the benefit of state merging.
+	DisableGeneralization bool
+}
+
+// DefaultMaxPathLength bounds witness search when the caller does not
+// provide one.
+const DefaultMaxPathLength = 4
+
+// Sample is a set of labelled examples collected from the user.
+type Sample struct {
+	// Positives maps each positive node to its validated path of interest
+	// (a word). A nil word means the user did not validate a path and the
+	// learner must choose one (step 1).
+	Positives map[graph.NodeID][]string
+	// Negatives lists the nodes labelled negative.
+	Negatives []graph.NodeID
+}
+
+// NewSample returns an empty sample.
+func NewSample() *Sample {
+	return &Sample{Positives: make(map[graph.NodeID][]string)}
+}
+
+// AddPositive records a positive example. word may be nil.
+func (s *Sample) AddPositive(node graph.NodeID, word []string) {
+	if s.Positives == nil {
+		s.Positives = make(map[graph.NodeID][]string)
+	}
+	s.Positives[node] = word
+}
+
+// AddNegative records a negative example.
+func (s *Sample) AddNegative(node graph.NodeID) {
+	for _, n := range s.Negatives {
+		if n == node {
+			return
+		}
+	}
+	s.Negatives = append(s.Negatives, node)
+}
+
+// IsPositive reports whether the node is a positive example.
+func (s *Sample) IsPositive(node graph.NodeID) bool {
+	_, ok := s.Positives[node]
+	return ok
+}
+
+// IsNegative reports whether the node is a negative example.
+func (s *Sample) IsNegative(node graph.NodeID) bool {
+	for _, n := range s.Negatives {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// Labeled reports whether the node is labelled either way.
+func (s *Sample) Labeled(node graph.NodeID) bool {
+	return s.IsPositive(node) || s.IsNegative(node)
+}
+
+// PositiveNodes returns the positive nodes in sorted order.
+func (s *Sample) PositiveNodes() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(s.Positives))
+	for n := range s.Positives {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the sample.
+func (s *Sample) Clone() *Sample {
+	c := NewSample()
+	for n, w := range s.Positives {
+		c.Positives[n] = append([]string(nil), w...)
+	}
+	c.Negatives = append([]graph.NodeID(nil), s.Negatives...)
+	return c
+}
+
+// Size returns the number of labelled examples.
+func (s *Sample) Size() int { return len(s.Positives) + len(s.Negatives) }
+
+// Result is the outcome of a learning call.
+type Result struct {
+	// Query is the learned query, consistent with the sample.
+	Query *regex.Expr
+	// Automaton is the generalised automaton the query was extracted from.
+	Automaton *automaton.NFA
+	// Witnesses records, for each positive node, the word used in step 1
+	// (either the user-validated word or the one chosen by the learner).
+	Witnesses map[graph.NodeID][]string
+	// Merges counts the accepted state merges performed in step 2.
+	Merges int
+	// CandidateMerges counts the attempted state merges.
+	CandidateMerges int
+}
+
+// ErrInconsistent is returned (wrapped) when no consistent query exists for
+// the sample, e.g. a positive example all of whose words are covered by
+// negative examples.
+var ErrInconsistent = fmt.Errorf("learn: sample admits no consistent query")
+
+// Learn runs the two-step learning algorithm on the graph and sample.
+func Learn(g *graph.Graph, sample *Sample, opts Options) (*Result, error) {
+	if opts.MaxPathLength <= 0 {
+		opts.MaxPathLength = DefaultMaxPathLength
+	}
+	if len(sample.Positives) == 0 {
+		// With no positive example the empty-language query is (vacuously)
+		// consistent with any set of negatives.
+		return &Result{
+			Query:     regex.Empty(),
+			Automaton: automaton.NewNFA(),
+			Witnesses: map[graph.NodeID][]string{},
+		}, nil
+	}
+
+	// Step 1: one uncovered witness word per positive example.
+	witnesses := make(map[graph.NodeID][]string, len(sample.Positives))
+	for _, node := range sample.PositiveNodes() {
+		word := sample.Positives[node]
+		if word == nil {
+			w, ok := chooseWitness(g, node, sample.Negatives, opts)
+			if !ok {
+				return nil, fmt.Errorf("%w: every path of positive %s (length <= %d) is covered by a negative example",
+					ErrInconsistent, node, opts.MaxPathLength)
+			}
+			word = w
+		} else {
+			// A validated word must itself be a path of the node and must
+			// not be covered; otherwise the sample is inconsistent.
+			if !paths.HasWord(g, node, word) {
+				return nil, fmt.Errorf("%w: validated path %v is not a path of %s", ErrInconsistent, word, node)
+			}
+			if paths.Covered(g, word, sample.Negatives) {
+				return nil, fmt.Errorf("%w: validated path %v of %s is covered by a negative example", ErrInconsistent, word, node)
+			}
+		}
+		witnesses[node] = word
+	}
+
+	// Step 2: prefix-tree automaton + state-merging generalisation.
+	words := make([][]string, 0, len(witnesses))
+	for _, node := range sortedKeys(witnesses) {
+		words = append(words, witnesses[node])
+	}
+	pta := automaton.FromWords(words)
+	result := &Result{Witnesses: witnesses}
+	nfa := pta
+	if !opts.DisableGeneralization {
+		nfa = generalize(g, pta, sample.Negatives, opts, result)
+	}
+	result.Automaton = nfa
+	result.Query = nfa.ToRegex()
+	return result, nil
+}
+
+func sortedKeys(m map[graph.NodeID][]string) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// chooseWitness implements step 1 for a positive example without a
+// validated path.
+func chooseWitness(g *graph.Graph, node graph.NodeID, negatives []graph.NodeID, opts Options) ([]string, bool) {
+	switch opts.WitnessOrder {
+	case WitnessLongest:
+		uncovered := paths.UncoveredWords(g, node, negatives, opts.MaxPathLength)
+		if len(uncovered) == 0 {
+			return nil, false
+		}
+		best := uncovered[0]
+		for _, w := range uncovered[1:] {
+			if len(w) > len(best) {
+				best = w
+			}
+		}
+		return best, true
+	default:
+		return paths.SmallestUncovered(g, node, negatives, opts.MaxPathLength)
+	}
+}
+
+// generalize merges states of the PTA while the automaton's language keeps
+// selecting no negative example on the graph. States are visited in a
+// single increasing pass: each state j is merged into the first earlier
+// (still unmerged) state i for which the merged automaton stays consistent,
+// the usual RPNI-style folding order. The evidence-weighted order instead
+// tries earlier states with more outgoing evidence first.
+func generalize(g *graph.Graph, pta *automaton.NFA, negatives []graph.NodeID, opts Options, result *Result) *automaton.NFA {
+	partition := make(map[automaton.State]automaton.State)
+	current := pta
+	n := automaton.State(pta.NumStates())
+	for j := automaton.State(1); j < n; j++ {
+		for _, i := range mergeTargets(pta, partition, j, opts.MergeOrder) {
+			result.CandidateMerges++
+			trial := make(map[automaton.State]automaton.State, len(partition)+1)
+			for k, v := range partition {
+				trial[k] = v
+			}
+			trial[j] = i
+			candidate := pta.Quotient(trial)
+			if selectsAnyNegative(g, candidate, negatives) {
+				continue
+			}
+			partition = trial
+			current = candidate
+			result.Merges++
+			break
+		}
+	}
+	return current
+}
+
+// mergeTargets lists the candidate earlier states j may be merged into:
+// every state below j that has not itself been merged away, ordered by the
+// merge ordering.
+func mergeTargets(pta *automaton.NFA, partition map[automaton.State]automaton.State, j automaton.State, order MergeOrder) []automaton.State {
+	var targets []automaton.State
+	for i := automaton.State(0); i < j; i++ {
+		if _, merged := partition[i]; merged {
+			continue
+		}
+		targets = append(targets, i)
+	}
+	if order == MergeEvidence {
+		weight := func(s automaton.State) int {
+			total := 0
+			for _, l := range pta.Labels() {
+				total += len(pta.Successors(s, l))
+			}
+			return total
+		}
+		sort.SliceStable(targets, func(a, b int) bool {
+			return weight(targets[a]) > weight(targets[b])
+		})
+	}
+	return targets
+}
+
+// selectsAnyNegative reports whether the automaton's language selects at
+// least one negative node of the graph, i.e. some negative node has a path
+// whose word is accepted. The check is a reachability search over the
+// product of the NFA with the graph — no determinisation is needed, which
+// keeps each candidate merge cheap.
+func selectsAnyNegative(g *graph.Graph, n *automaton.NFA, negatives []graph.NodeID) bool {
+	if len(negatives) == 0 {
+		return false
+	}
+	type config struct {
+		state automaton.State
+		node  graph.NodeID
+	}
+	seen := make(map[config]bool)
+	var queue []config
+	push := func(states []automaton.State, node graph.NodeID) bool {
+		for _, s := range states {
+			if n.IsAccepting(s) {
+				return true
+			}
+			c := config{s, node}
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+		return false
+	}
+	startClosure := n.EpsilonClosure([]automaton.State{n.Start()})
+	for _, neg := range negatives {
+		if !g.HasNode(neg) {
+			continue
+		}
+		if push(startClosure, neg) {
+			return true
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out(cur.node) {
+			succ := n.Successors(cur.state, string(e.Label))
+			if len(succ) == 0 {
+				continue
+			}
+			if push(n.EpsilonClosure(succ), e.To) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Consistent reports whether the query is consistent with the sample on
+// the graph: it selects every positive node and no negative node.
+func Consistent(g *graph.Graph, query *regex.Expr, sample *Sample) bool {
+	return rpq.Consistent(g, query, sample.PositiveNodes(), sample.Negatives)
+}

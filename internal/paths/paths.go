@@ -1,0 +1,244 @@
+// Package paths enumerates bounded-length paths of graph nodes, organises
+// them in prefix trees (the structure shown to the user for path
+// validation, Figure 3(c) of the paper) and decides coverage of a path by
+// negative examples.
+//
+// Terminology follows the paper: a *path of node v* is a directed walk
+// starting at v; its *word* is the sequence of edge labels along it. A word
+// w of a positive node is *covered* by a negative node u if u also has a
+// path spelling w — requiring w in the learned query would then wrongly
+// select u.
+package paths
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Path is a walk in the graph: the start node plus the traversed edges.
+type Path struct {
+	Start graph.NodeID
+	Edges []graph.Edge
+}
+
+// Word returns the sequence of labels along the path.
+func (p Path) Word() []string {
+	w := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		w[i] = string(e.Label)
+	}
+	return w
+}
+
+// Len returns the number of edges of the path.
+func (p Path) Len() int { return len(p.Edges) }
+
+// String renders the path as "v0 -a-> v1 -b-> v2".
+func (p Path) String() string {
+	if len(p.Edges) == 0 {
+		return string(p.Start)
+	}
+	var sb strings.Builder
+	sb.WriteString(string(p.Start))
+	for _, e := range p.Edges {
+		sb.WriteString(" -")
+		sb.WriteString(string(e.Label))
+		sb.WriteString("-> ")
+		sb.WriteString(string(e.To))
+	}
+	return sb.String()
+}
+
+// WordKey renders a word as a single comparable string.
+func WordKey(word []string) string { return strings.Join(word, ".") }
+
+// Enumerate returns every path of node start with between 1 and maxLen
+// edges, in breadth-first order (shorter paths first, then lexicographic by
+// label). The number of paths can grow exponentially with maxLen; maxPaths
+// (<=0 means unlimited) truncates the enumeration.
+func Enumerate(g *graph.Graph, start graph.NodeID, maxLen, maxPaths int) []Path {
+	var out []Path
+	if !g.HasNode(start) || maxLen <= 0 {
+		return out
+	}
+	frontier := []Path{{Start: start}}
+	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+		var next []Path
+		for _, p := range frontier {
+			tail := start
+			if len(p.Edges) > 0 {
+				tail = p.Edges[len(p.Edges)-1].To
+			}
+			for _, e := range g.Out(tail) {
+				np := Path{Start: start, Edges: append(append([]graph.Edge(nil), p.Edges...), e)}
+				out = append(out, np)
+				if maxPaths > 0 && len(out) >= maxPaths {
+					return out
+				}
+				next = append(next, np)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// Words returns the distinct words (label sequences) of paths of node start
+// with 0..maxLen edges, sorted by length then lexicographically. The empty
+// word (the length-0 path that every existing node has) is always included;
+// it matters for informativeness: a node with no outgoing edge still
+// carries one bit of information until a negative example covers the empty
+// word.
+//
+// Unlike Enumerate, which materialises every path and can blow up on dense
+// graphs, Words deduplicates level by level: each distinct word is tracked
+// together with the set of nodes it can end in, so the cost is bounded by
+// the number of distinct words times the graph size, not by the number of
+// paths.
+func Words(g *graph.Graph, start graph.NodeID, maxLen int) [][]string {
+	if !g.HasNode(start) || maxLen < 0 {
+		return nil
+	}
+	out := [][]string{{}}
+	type entry struct {
+		word []string
+		ends map[graph.NodeID]bool
+	}
+	current := map[string]*entry{"": {word: nil, ends: map[graph.NodeID]bool{start: true}}}
+	for depth := 0; depth < maxLen && len(current) > 0; depth++ {
+		next := make(map[string]*entry)
+		for _, e := range current {
+			for node := range e.ends {
+				for _, edge := range g.Out(node) {
+					word := append(append([]string(nil), e.word...), string(edge.Label))
+					key := WordKey(word)
+					ne, ok := next[key]
+					if !ok {
+						ne = &entry{word: word, ends: make(map[graph.NodeID]bool)}
+						next[key] = ne
+					}
+					ne.ends[edge.To] = true
+				}
+			}
+		}
+		for _, e := range next {
+			out = append(out, e.word)
+		}
+		current = next
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return WordKey(out[i]) < WordKey(out[j])
+	})
+	return out
+}
+
+// HasWord reports whether node start has a path spelling exactly the word.
+// The empty word is always present.
+func HasWord(g *graph.Graph, start graph.NodeID, word []string) bool {
+	if !g.HasNode(start) {
+		return false
+	}
+	current := map[graph.NodeID]bool{start: true}
+	for _, label := range word {
+		next := make(map[graph.NodeID]bool)
+		for node := range current {
+			for _, e := range g.OutWithLabel(node, graph.Label(label)) {
+				next[e.To] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		current = next
+	}
+	return true
+}
+
+// Covered reports whether the word is covered by at least one of the
+// negative nodes, i.e. some negative node also has a path spelling it.
+func Covered(g *graph.Graph, word []string, negatives []graph.NodeID) bool {
+	for _, n := range negatives {
+		if HasWord(g, n, word) {
+			return true
+		}
+	}
+	return false
+}
+
+// Coverage is the precomputed set of words (up to a length bound) covered
+// by a set of negative nodes. Interactive strategies and pruning test many
+// nodes against the same negatives, so computing the covered set once and
+// reusing it avoids re-walking the graph per candidate word.
+type Coverage struct {
+	maxLen int
+	words  map[string]bool
+}
+
+// NewCoverage precomputes the words of length at most maxLen covered by the
+// negative nodes.
+func NewCoverage(g *graph.Graph, negatives []graph.NodeID, maxLen int) *Coverage {
+	c := &Coverage{maxLen: maxLen, words: make(map[string]bool)}
+	for _, n := range negatives {
+		for _, w := range Words(g, n, maxLen) {
+			c.words[WordKey(w)] = true
+		}
+	}
+	return c
+}
+
+// Covers reports whether the word (of length at most the coverage bound) is
+// covered by one of the negative nodes.
+func (c *Coverage) Covers(word []string) bool {
+	return c.words[WordKey(word)]
+}
+
+// SmallestUncovered returns a shortest word of node start (with 0..maxLen
+// edges) that is not covered by any negative node. Ties are broken
+// lexicographically. ok=false means every word up to the bound is covered
+// (the node is uninformative at this bound).
+func SmallestUncovered(g *graph.Graph, start graph.NodeID, negatives []graph.NodeID, maxLen int) ([]string, bool) {
+	cov := NewCoverage(g, negatives, maxLen)
+	for _, w := range Words(g, start, maxLen) {
+		if !cov.Covers(w) {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// UncoveredWords returns every word of node start with 0..maxLen edges not
+// covered by any negative node, sorted by length then lexicographically.
+func UncoveredWords(g *graph.Graph, start graph.NodeID, negatives []graph.NodeID, maxLen int) [][]string {
+	return UncoveredWordsWith(g, start, maxLen, NewCoverage(g, negatives, maxLen))
+}
+
+// UncoveredWordsWith is UncoveredWords with a caller-provided Coverage,
+// letting callers that scan many nodes share one covered-word set.
+func UncoveredWordsWith(g *graph.Graph, start graph.NodeID, maxLen int, cov *Coverage) [][]string {
+	var out [][]string
+	for _, w := range Words(g, start, maxLen) {
+		if !cov.Covers(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// CountUncovered returns the number of words of node start with 0..maxLen
+// edges that are not covered by any negative node. It is the node
+// informativeness measure used by the interactive strategy: a node whose
+// count is zero is uninformative in the sense of the paper (all its paths,
+// including the empty one, are covered by negative examples).
+func CountUncovered(g *graph.Graph, start graph.NodeID, negatives []graph.NodeID, maxLen int) int {
+	return len(UncoveredWords(g, start, negatives, maxLen))
+}
+
+// CountUncoveredWith is CountUncovered with a caller-provided Coverage.
+func CountUncoveredWith(g *graph.Graph, start graph.NodeID, maxLen int, cov *Coverage) int {
+	return len(UncoveredWordsWith(g, start, maxLen, cov))
+}

@@ -1,0 +1,274 @@
+package regex
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses an expression in the paper's syntax. Accepted operators:
+//
+//	union:          +  or  |
+//	concatenation:  .  or  ·  (or juxtaposition separated by whitespace)
+//	Kleene star:    *
+//	plus closure:   ^+
+//	optional:       ?
+//	grouping:       ( )
+//	empty word:     eps or ε
+//	empty language: empty or ∅
+//
+// Labels are identifiers made of letters, digits, '_' and '-'.
+func Parse(input string) (*Expr, error) {
+	p := &parser{input: input}
+	p.lex()
+	if p.err != nil {
+		return nil, p.err
+	}
+	e := p.parseUnion()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.pos != len(p.tokens) {
+		return nil, fmt.Errorf("regex: unexpected token %q at end of %q", p.tokens[p.pos].text, input)
+	}
+	return e, nil
+}
+
+// MustParse parses an expression and panics on error. Intended for
+// compile-time constant queries in tests and dataset builders.
+func MustParse(input string) *Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokenKind int
+
+const (
+	tokLabel tokenKind = iota
+	tokUnion
+	tokConcat
+	tokStar
+	tokPlusClosure
+	tokOpt
+	tokLParen
+	tokRParen
+	tokEps
+	tokEmpty
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type parser struct {
+	input  string
+	tokens []token
+	pos    int
+	err    error
+}
+
+func (p *parser) lex() {
+	s := p.input
+	i := 0
+	for i < len(s) {
+		r, width := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += width
+		case r == '+':
+			p.tokens = append(p.tokens, token{tokUnion, "+"})
+			i += width
+		case r == '|':
+			p.tokens = append(p.tokens, token{tokUnion, "|"})
+			i += width
+		case r == '.', r == '·':
+			p.tokens = append(p.tokens, token{tokConcat, string(r)})
+			i += width
+		case r == '*':
+			p.tokens = append(p.tokens, token{tokStar, "*"})
+			i += width
+		case r == '^':
+			if i+1 < len(s) && s[i+1] == '+' {
+				p.tokens = append(p.tokens, token{tokPlusClosure, "^+"})
+				i += 2
+			} else {
+				p.err = fmt.Errorf("regex: stray '^' at position %d in %q", i, s)
+				return
+			}
+		case r == '?':
+			p.tokens = append(p.tokens, token{tokOpt, "?"})
+			i += width
+		case r == '(':
+			p.tokens = append(p.tokens, token{tokLParen, "("})
+			i += width
+		case r == ')':
+			p.tokens = append(p.tokens, token{tokRParen, ")"})
+			i += width
+		case r == 'ε':
+			p.tokens = append(p.tokens, token{tokEps, "ε"})
+			i += width
+		case r == '∅':
+			p.tokens = append(p.tokens, token{tokEmpty, "∅"})
+			i += width
+		case isLabelRune(r):
+			j := i
+			for j < len(s) {
+				rr, w := utf8.DecodeRuneInString(s[j:])
+				if !isLabelRune(rr) || rr == 'ε' || rr == '∅' {
+					break
+				}
+				j += w
+			}
+			word := s[i:j]
+			switch word {
+			case "eps":
+				p.tokens = append(p.tokens, token{tokEps, word})
+			case "empty":
+				p.tokens = append(p.tokens, token{tokEmpty, word})
+			default:
+				p.tokens = append(p.tokens, token{tokLabel, word})
+			}
+			i = j
+		default:
+			p.err = fmt.Errorf("regex: unexpected character %q at position %d in %q", r, i, s)
+			return
+		}
+	}
+	if len(p.tokens) == 0 {
+		p.err = fmt.Errorf("regex: empty expression")
+	}
+}
+
+func isLabelRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.tokens) {
+		return p.tokens[p.pos], true
+	}
+	return token{}, false
+}
+
+// parseUnion := parseConcat ('+' parseConcat)*
+func (p *parser) parseUnion() *Expr {
+	first := p.parseConcat()
+	if p.err != nil {
+		return nil
+	}
+	subs := []*Expr{first}
+	for {
+		tok, ok := p.peek()
+		if !ok || tok.kind != tokUnion {
+			break
+		}
+		p.pos++
+		next := p.parseConcat()
+		if p.err != nil {
+			return nil
+		}
+		subs = append(subs, next)
+	}
+	return Union(subs...)
+}
+
+// parseConcat := parseClosure (['.'] parseClosure)*
+func (p *parser) parseConcat() *Expr {
+	first := p.parseClosure()
+	if p.err != nil {
+		return nil
+	}
+	subs := []*Expr{first}
+	for {
+		tok, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch tok.kind {
+		case tokConcat:
+			p.pos++
+			next := p.parseClosure()
+			if p.err != nil {
+				return nil
+			}
+			subs = append(subs, next)
+		case tokLabel, tokLParen, tokEps, tokEmpty:
+			// Juxtaposition (implicit concatenation).
+			next := p.parseClosure()
+			if p.err != nil {
+				return nil
+			}
+			subs = append(subs, next)
+		default:
+			return Concat(subs...)
+		}
+	}
+	return Concat(subs...)
+}
+
+// parseClosure := parseAtom ('*' | '^+' | '?')*
+func (p *parser) parseClosure() *Expr {
+	e := p.parseAtom()
+	if p.err != nil {
+		return nil
+	}
+	for {
+		tok, ok := p.peek()
+		if !ok {
+			return e
+		}
+		switch tok.kind {
+		case tokStar:
+			p.pos++
+			e = Star(e)
+		case tokPlusClosure:
+			p.pos++
+			e = Plus(e)
+		case tokOpt:
+			p.pos++
+			e = Opt(e)
+		default:
+			return e
+		}
+	}
+}
+
+// parseAtom := label | 'eps' | 'empty' | '(' parseUnion ')'
+func (p *parser) parseAtom() *Expr {
+	tok, ok := p.peek()
+	if !ok {
+		p.err = fmt.Errorf("regex: unexpected end of expression %q", p.input)
+		return nil
+	}
+	switch tok.kind {
+	case tokLabel:
+		p.pos++
+		return Sym(tok.text)
+	case tokEps:
+		p.pos++
+		return Eps()
+	case tokEmpty:
+		p.pos++
+		return Empty()
+	case tokLParen:
+		p.pos++
+		e := p.parseUnion()
+		if p.err != nil {
+			return nil
+		}
+		tok, ok := p.peek()
+		if !ok || tok.kind != tokRParen {
+			p.err = fmt.Errorf("regex: missing ')' in %q", p.input)
+			return nil
+		}
+		p.pos++
+		return e
+	default:
+		p.err = fmt.Errorf("regex: unexpected token %q in %q", tok.text, p.input)
+		return nil
+	}
+}

@@ -1,0 +1,101 @@
+package rpq
+
+import (
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+)
+
+// The paper uses the unary semantics (a node is selected iff some path
+// starting at it matches the query). This file additionally implements the
+// standard binary RPQ semantics — the set of node pairs (x, y) connected by
+// a path whose word is in L(q) — which downstream users of the library
+// typically also need, and which the unary engine's witness machinery is
+// built on.
+
+// Pair is an (origin, destination) answer of a binary regular path query.
+type Pair struct {
+	From graph.NodeID
+	To   graph.NodeID
+}
+
+// PairsFrom returns the nodes y such that some path from the given node to
+// y spells a word of L(q), in sorted order. If the query is nullable the
+// node itself is included.
+func (e *Engine) PairsFrom(from graph.NodeID) []graph.NodeID {
+	if !e.g.HasNode(from) {
+		return nil
+	}
+	type config struct {
+		node  graph.NodeID
+		state automaton.State
+	}
+	start := config{from, e.dfa.Start()}
+	seen := map[config]bool{start: true}
+	queue := []config{start}
+	answers := make(map[graph.NodeID]bool)
+	if e.dfa.IsAccepting(e.dfa.Start()) {
+		answers[from] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, edge := range e.g.Out(cur.node) {
+			next, ok := e.dfa.Next(cur.state, string(edge.Label))
+			if !ok {
+				continue
+			}
+			nc := config{edge.To, next}
+			if seen[nc] {
+				continue
+			}
+			seen[nc] = true
+			if e.dfa.IsAccepting(next) {
+				answers[edge.To] = true
+			}
+			queue = append(queue, nc)
+		}
+	}
+	out := make([]graph.NodeID, 0, len(answers))
+	for n := range answers {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ConnectsPair reports whether some path from x to y spells a word of
+// L(q).
+func (e *Engine) ConnectsPair(x, y graph.NodeID) bool {
+	for _, to := range e.PairsFrom(x) {
+		if to == y {
+			return true
+		}
+	}
+	return false
+}
+
+// AllPairs returns every (x, y) pair connected by a path in L(q), sorted by
+// (From, To). On large graphs this is quadratic in the number of nodes in
+// the worst case; callers that only need one origin should use PairsFrom.
+func (e *Engine) AllPairs() []Pair {
+	var out []Pair
+	for _, from := range e.g.Nodes() {
+		// Only selected origins can contribute pairs: (x, y) requires a
+		// matching path starting at x, which is exactly unary selection.
+		if !e.Selects(from) {
+			continue
+		}
+		for _, to := range e.PairsFrom(from) {
+			out = append(out, Pair{From: from, To: to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

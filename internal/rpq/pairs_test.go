@@ -1,0 +1,87 @@
+package rpq
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/regex"
+)
+
+func TestPairsFromFigure1(t *testing.T) {
+	g := figure1(t)
+	e := New(g, regex.MustParse("(tram+bus)*.cinema"))
+	// From N2 the matching paths end in C1 (via N1/N4); C2 is reachable
+	// from N2? N2-bus->N3 has no onward cinema path, so only C1.
+	got := e.PairsFrom("N2")
+	if !reflect.DeepEqual(got, []graph.NodeID{"C1"}) {
+		t.Fatalf("PairsFrom(N2) = %v, want [C1]", got)
+	}
+	if got := e.PairsFrom("N6"); !reflect.DeepEqual(got, []graph.NodeID{"C2"}) {
+		t.Fatalf("PairsFrom(N6) = %v, want [C2]", got)
+	}
+	if got := e.PairsFrom("N5"); len(got) != 0 {
+		t.Fatalf("PairsFrom(N5) = %v, want empty", got)
+	}
+	if got := e.PairsFrom("missing"); got != nil {
+		t.Fatalf("PairsFrom(missing) = %v", got)
+	}
+}
+
+func TestPairsFromNullableIncludesSelf(t *testing.T) {
+	g := figure1(t)
+	e := New(g, regex.MustParse("cinema?"))
+	got := e.PairsFrom("R1")
+	if len(got) == 0 || got[0] != "R1" {
+		t.Fatalf("nullable query should pair a node with itself, got %v", got)
+	}
+}
+
+func TestConnectsPairAndAllPairs(t *testing.T) {
+	g := figure1(t)
+	e := New(g, regex.MustParse("(tram+bus)*.cinema"))
+	if !e.ConnectsPair("N2", "C1") {
+		t.Fatal("N2 and C1 should be connected")
+	}
+	if e.ConnectsPair("N2", "C2") || e.ConnectsPair("N5", "C1") {
+		t.Fatal("unexpected pair connection")
+	}
+	pairs := e.AllPairs()
+	want := []Pair{
+		{"N1", "C1"},
+		{"N2", "C1"},
+		{"N4", "C1"},
+		{"N6", "C2"},
+	}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("AllPairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestPropertyPairsConsistentWithSelection(t *testing.T) {
+	// A node is selected iff it has at least one pair partner, and every
+	// pair origin is a selected node.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 8, 16)
+		q := randomExpr(r, 2)
+		e := New(g, q)
+		for _, node := range g.Nodes() {
+			pairs := e.PairsFrom(node)
+			if e.Selects(node) != (len(pairs) > 0) {
+				return false
+			}
+		}
+		for _, p := range e.AllPairs() {
+			if !e.Selects(p.From) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

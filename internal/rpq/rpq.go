@@ -1,0 +1,230 @@
+// Package rpq evaluates regular path queries on graph databases.
+//
+// A path query q is a regular expression over edge labels. Under the
+// semantics of the paper a node v of the graph is selected by q if there
+// exists a directed path starting at v whose sequence of edge labels spells
+// a word of L(q). Evaluation runs a product-graph reachability between the
+// graph and a DFA of q, which yields the selected set of all nodes in
+// O(|V|·|Q| + |E|·|Q|) after determinisation of q.
+package rpq
+
+import (
+	"sort"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/regex"
+)
+
+// Engine evaluates one compiled query against one graph. It precomputes
+// the product reachability so that Selected, Selects and Witness are cheap.
+type Engine struct {
+	g     *graph.Graph
+	query *regex.Expr
+	dfa   *automaton.DFA
+	// selected caches the full answer set.
+	selected map[graph.NodeID]bool
+	// accReach[productKey] is true if an accepting configuration is
+	// reachable from that (node, state) configuration.
+	accReach map[config]bool
+}
+
+type config struct {
+	node  graph.NodeID
+	state automaton.State
+}
+
+// New compiles the query against the graph's alphabet and precomputes the
+// selected node set.
+func New(g *graph.Graph, query *regex.Expr) *Engine {
+	alphabet := make([]string, 0)
+	for _, l := range g.Alphabet() {
+		alphabet = append(alphabet, string(l))
+	}
+	dfa := automaton.FromRegex(query).Determinize(alphabet).Minimize()
+	e := &Engine{
+		g:        g,
+		query:    query,
+		dfa:      dfa,
+		selected: make(map[graph.NodeID]bool),
+		accReach: make(map[config]bool),
+	}
+	e.computeReachability()
+	return e
+}
+
+// Query returns the compiled query expression.
+func (e *Engine) Query() *regex.Expr { return e.query }
+
+// computeReachability marks every configuration (node, state) from which an
+// accepting DFA state is reachable in the product graph, by a backward
+// breadth-first propagation from accepting configurations.
+func (e *Engine) computeReachability() {
+	// Build reverse product adjacency lazily: for a configuration (u, s')
+	// its predecessors are configurations (v, s) with an edge v -a-> u and
+	// DFA transition s -a-> s'. Rather than materialising it, iterate to a
+	// fixpoint using a worklist seeded with accepting configurations.
+	//
+	// Seed: every (node, state) with state accepting.
+	var queue []config
+	for _, node := range e.g.Nodes() {
+		for s := automaton.State(0); s < automaton.State(e.dfa.NumStates()); s++ {
+			if e.dfa.IsAccepting(s) {
+				c := config{node, s}
+				e.accReach[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	// Predecessor exploration: for configuration (u, s') examine incoming
+	// graph edges v -a-> u and DFA states s with s -a-> s'.
+	// Precompute DFA reverse transitions per label.
+	reverse := make(map[string]map[automaton.State][]automaton.State)
+	for _, l := range e.dfa.Alphabet() {
+		reverse[l] = make(map[automaton.State][]automaton.State)
+		for s := automaton.State(0); s < automaton.State(e.dfa.NumStates()); s++ {
+			next, _ := e.dfa.Next(s, l)
+			reverse[l][next] = append(reverse[l][next], s)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, edge := range e.g.In(cur.node) {
+			preds := reverse[string(edge.Label)][cur.state]
+			for _, s := range preds {
+				c := config{edge.From, s}
+				if !e.accReach[c] {
+					e.accReach[c] = true
+					queue = append(queue, c)
+				}
+			}
+		}
+	}
+	start := e.dfa.Start()
+	for _, node := range e.g.Nodes() {
+		if e.accReach[config{node, start}] {
+			e.selected[node] = true
+		}
+	}
+}
+
+// Selects reports whether the query selects the node.
+func (e *Engine) Selects(node graph.NodeID) bool { return e.selected[node] }
+
+// Selected returns the sorted list of selected nodes.
+func (e *Engine) Selected() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(e.selected))
+	for id := range e.selected {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Witness returns a shortest path (sequence of edges) starting at node
+// whose labels spell a word of L(q), and ok=false if the node is not
+// selected. A selected node whose shortest witness is the empty word (a
+// nullable query) returns an empty edge slice with ok=true.
+func (e *Engine) Witness(node graph.NodeID) ([]graph.Edge, bool) {
+	if !e.selected[node] {
+		return nil, false
+	}
+	start := config{node, e.dfa.Start()}
+	if e.dfa.IsAccepting(e.dfa.Start()) {
+		return []graph.Edge{}, true
+	}
+	type entry struct {
+		c    config
+		path []graph.Edge
+	}
+	seen := map[config]bool{start: true}
+	queue := []entry{{start, nil}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, edge := range e.g.Out(cur.c.node) {
+			next, ok := e.dfa.Next(cur.c.state, string(edge.Label))
+			if !ok {
+				continue
+			}
+			nc := config{edge.To, next}
+			if seen[nc] {
+				continue
+			}
+			// Only explore configurations that can still reach acceptance;
+			// this keeps the BFS linear in the useful product.
+			if !e.accReach[nc] {
+				continue
+			}
+			seen[nc] = true
+			path := append(append([]graph.Edge(nil), cur.path...), edge)
+			if e.dfa.IsAccepting(next) {
+				return path, true
+			}
+			queue = append(queue, entry{nc, path})
+		}
+	}
+	return nil, false
+}
+
+// Evaluate is a convenience helper that compiles and evaluates the query in
+// one call and returns the selected nodes.
+func Evaluate(g *graph.Graph, query *regex.Expr) []graph.NodeID {
+	return New(g, query).Selected()
+}
+
+// SelectsWithin reports whether the node has a path of length at most
+// maxLen whose labels are in L(q). It is used by the bounded strategies.
+func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
+	type entry struct {
+		c     config
+		depth int
+	}
+	start := config{node, e.dfa.Start()}
+	if e.dfa.IsAccepting(e.dfa.Start()) {
+		return true
+	}
+	seen := map[config]int{start: 0}
+	queue := []entry{{start, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth >= maxLen {
+			continue
+		}
+		for _, edge := range e.g.Out(cur.c.node) {
+			next, ok := e.dfa.Next(cur.c.state, string(edge.Label))
+			if !ok {
+				continue
+			}
+			nc := config{edge.To, next}
+			if d, ok := seen[nc]; ok && d <= cur.depth+1 {
+				continue
+			}
+			seen[nc] = cur.depth + 1
+			if e.dfa.IsAccepting(next) {
+				return true
+			}
+			queue = append(queue, entry{nc, cur.depth + 1})
+		}
+	}
+	return false
+}
+
+// Consistent reports whether the query selects every node of positives and
+// none of negatives on the graph.
+func Consistent(g *graph.Graph, query *regex.Expr, positives, negatives []graph.NodeID) bool {
+	e := New(g, query)
+	for _, p := range positives {
+		if !e.Selects(p) {
+			return false
+		}
+	}
+	for _, n := range negatives {
+		if e.Selects(n) {
+			return false
+		}
+	}
+	return true
+}
