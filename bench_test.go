@@ -141,6 +141,21 @@ func BenchmarkRPQEvaluation(b *testing.B) {
 	}
 }
 
+// BenchmarkRPQEvaluationCached measures evaluation through an EngineCache,
+// the configuration the interactive loop actually runs in (the same
+// candidate queries recur across iterations).
+func BenchmarkRPQEvaluationCached(b *testing.B) {
+	g := benchTransport(b, 10)
+	q := regex.MustParse("(tram+bus)*.cinema")
+	cache := rpq.NewCache(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(cache.Get(q).Selected()) == 0 {
+			b.Fatal("no nodes selected")
+		}
+	}
+}
+
 // BenchmarkRPQWitness measures witness-path extraction for every selected
 // node.
 func BenchmarkRPQWitness(b *testing.B) {

@@ -25,13 +25,23 @@ import (
 
 func main() {
 	var (
-		expList = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
-		full    = flag.Bool("full", false, "run the full-size configuration instead of the quick one")
-		seed    = flag.Int64("seed", 1, "seed for all pseudo-random choices")
-		csv     = flag.Bool("csv", false, "also print each result table as CSV")
-		list    = flag.Bool("list", false, "list the available experiments and exit")
+		expList  = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+		full     = flag.Bool("full", false, "run the full-size configuration instead of the quick one")
+		seed     = flag.Int64("seed", 1, "seed for all pseudo-random choices")
+		csv      = flag.Bool("csv", false, "also print each result table as CSV")
+		list     = flag.Bool("list", false, "list the available experiments and exit")
+		rpqBench = flag.Bool("rpqbench", false, "run the RPQ evaluation micro-benchmarks and write a JSON summary")
+		rpqOut   = flag.String("rpqbench-out", "BENCH_rpq.json", "output path of the -rpqbench JSON summary")
 	)
 	flag.Parse()
+
+	if *rpqBench {
+		if err := runRPQBench(*rpqOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, r := range experiment.Registry() {

@@ -29,11 +29,14 @@ import (
 // interactive specification on it.
 type System struct {
 	g *graph.Graph
+	// cache memoises evaluated query engines; repeated Evaluate calls with
+	// the same query (the CLI console, the examples) cost one map lookup.
+	cache *rpq.EngineCache
 }
 
 // New returns a System over the given graph database.
 func New(g *graph.Graph) *System {
-	return &System{g: g}
+	return &System{g: g, cache: rpq.NewCache(g)}
 }
 
 // Graph returns the underlying graph database.
@@ -52,7 +55,7 @@ type QueryResult struct {
 // Evaluate runs a path query and returns the selected nodes together with a
 // shortest witness path for each.
 func (s *System) Evaluate(query *regex.Expr) *QueryResult {
-	engine := rpq.New(s.g, query)
+	engine := s.cache.Get(query)
 	res := &QueryResult{
 		Query:     query,
 		Nodes:     engine.Selected(),
@@ -158,11 +161,5 @@ func EquivalentQueries(a, b *regex.Expr) bool {
 // SameAnswerSet reports whether two queries select exactly the same nodes
 // of the system's graph.
 func (s *System) SameAnswerSet(a, b *regex.Expr) bool {
-	ea, eb := rpq.New(s.g, a), rpq.New(s.g, b)
-	for _, n := range s.g.Nodes() {
-		if ea.Selects(n) != eb.Selects(n) {
-			return false
-		}
-	}
-	return true
+	return s.cache.Get(a).SameSelection(s.cache.Get(b))
 }

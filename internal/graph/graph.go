@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node. IDs are arbitrary non-empty strings; the
@@ -43,6 +44,11 @@ type Graph struct {
 	edgeCount int
 	// attrs holds optional node attributes (kind, display name, ...).
 	attrs map[NodeID]map[string]string
+	// version counts structural mutations; idx caches the dense view built
+	// at a given version (see indexed.go).
+	version uint64
+	idxMu   sync.Mutex
+	idx     *Indexed
 }
 
 // New returns an empty graph.
@@ -67,7 +73,10 @@ func (g *Graph) AddNode(id NodeID) error {
 		return fmt.Errorf("graph: empty node id")
 	}
 	g.init()
-	g.nodes[id] = struct{}{}
+	if _, ok := g.nodes[id]; !ok {
+		g.nodes[id] = struct{}{}
+		g.version++
+	}
 	return nil
 }
 
@@ -136,6 +145,7 @@ func (g *Graph) AddEdge(from NodeID, label Label, to NodeID) error {
 	g.in[to] = insertEdge(g.in[to], inPos, e)
 	g.labels[label]++
 	g.edgeCount++
+	g.version++
 	return nil
 }
 
@@ -307,6 +317,7 @@ func (g *Graph) RemoveNode(id NodeID) {
 	delete(g.in, id)
 	delete(g.nodes, id)
 	delete(g.attrs, id)
+	g.version++
 }
 
 func (g *Graph) removeFromIn(e Edge) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/paths"
 	"repro/internal/regex"
+	"repro/internal/rpq"
 	"repro/internal/user"
 )
 
@@ -121,17 +122,25 @@ type Session struct {
 
 	sample *learn.Sample
 	pruned map[graph.NodeID]bool
+	// cache memoises evaluated query engines across the whole session; the
+	// cache-aware strategies keep probing the same hypothesis queries.
+	cache *rpq.EngineCache
 }
 
 // NewSession prepares a session on the graph for the given user.
 func NewSession(g *graph.Graph, u user.User, opts Options) *Session {
-	return &Session{
+	s := &Session{
 		g:      g,
 		u:      u,
 		opts:   opts.withDefaults(),
 		sample: learn.NewSample(),
 		pruned: make(map[graph.NodeID]bool),
+		cache:  rpq.NewCache(g),
 	}
+	if ca, ok := s.opts.Strategy.(CacheAware); ok {
+		ca.SetCache(s.cache)
+	}
+	return s
 }
 
 // Run executes the interactive loop until a halt condition fires and

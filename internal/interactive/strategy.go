@@ -116,6 +116,7 @@ type DisagreementStrategy struct {
 	MaxPathLength int
 
 	hypothesis *regex.Expr
+	cache      *rpq.EngineCache
 }
 
 // Name implements Strategy.
@@ -123,6 +124,10 @@ func (s *DisagreementStrategy) Name() string { return "disagreement" }
 
 // SetHypothesis implements HypothesisAware.
 func (s *DisagreementStrategy) SetHypothesis(q *regex.Expr) { s.hypothesis = q }
+
+// SetCache implements CacheAware: the session shares its engine cache so
+// that re-probing an unchanged hypothesis costs one map lookup.
+func (s *DisagreementStrategy) SetCache(c *rpq.EngineCache) { s.cache = c }
 
 // Propose implements Strategy.
 func (s *DisagreementStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
@@ -148,7 +153,12 @@ func (s *DisagreementStrategy) Propose(g *graph.Graph, sample *learn.Sample, exc
 		// No usable hypothesis yet: behave like the informative strategy.
 		return bestByCount(candidates, counts)
 	}
-	engine := rpq.New(g, s.hypothesis)
+	var engine *rpq.Engine
+	if s.cache != nil && s.cache.Graph() == g {
+		engine = s.cache.Get(s.hypothesis)
+	} else {
+		engine = rpq.New(g, s.hypothesis)
+	}
 	best := graph.NodeID("")
 	bestScore := -1
 	for _, id := range candidates {
@@ -192,6 +202,13 @@ func bestByCount(candidates []graph.NodeID, counts map[graph.NodeID]int) (graph.
 // learned so far; the session calls SetHypothesis before each proposal.
 type HypothesisAware interface {
 	SetHypothesis(q *regex.Expr)
+}
+
+// CacheAware is implemented by strategies that evaluate queries and want to
+// share the session's engine cache; the session calls SetCache once at
+// start-up.
+type CacheAware interface {
+	SetCache(c *rpq.EngineCache)
 }
 
 // HybridStrategy proposes high-degree nodes first (cheap to compute) and

@@ -17,7 +17,9 @@ package learn
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -64,6 +66,26 @@ type Options struct {
 	// DisableGeneralization skips step 2 and returns the disjunction of
 	// the witness words. Used to measure the benefit of state merging.
 	DisableGeneralization bool
+	// Parallelism bounds the worker pool used to check independent
+	// candidate merges concurrently in step 2. Zero means min(GOMAXPROCS,
+	// 8); 1 forces sequential checking. The learned query is identical at
+	// any setting: candidates are still chosen in the sequential order.
+	Parallelism int
+}
+
+// workerCount resolves the Parallelism option to a concrete pool size.
+func (o Options) workerCount() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DefaultMaxPathLength bounds witness search when the caller does not
@@ -258,26 +280,69 @@ func chooseWitness(g *graph.Graph, node graph.NodeID, negatives []graph.NodeID, 
 // (still unmerged) state i for which the merged automaton stays consistent,
 // the usual RPNI-style folding order. The evidence-weighted order instead
 // tries earlier states with more outgoing evidence first.
+// Candidate merges for one state are independent of each other (each is a
+// fresh quotient of the PTA checked against the negatives), so they are
+// evaluated concurrently in chunks of the worker-pool size. The chunk
+// results are then scanned in sequential order and the first consistent
+// candidate wins, which makes the outcome — and the CandidateMerges counter
+// — identical to the sequential RPNI-style fold.
 func generalize(g *graph.Graph, pta *automaton.NFA, negatives []graph.NodeID, opts Options, result *Result) *automaton.NFA {
+	workers := opts.workerCount()
 	partition := make(map[automaton.State]automaton.State)
 	current := pta
 	n := automaton.State(pta.NumStates())
+	type outcome struct {
+		trial     map[automaton.State]automaton.State
+		candidate *automaton.NFA
+		ok        bool
+	}
+	tryMerge := func(j, i automaton.State) outcome {
+		trial := make(map[automaton.State]automaton.State, len(partition)+1)
+		for k, v := range partition {
+			trial[k] = v
+		}
+		trial[j] = i
+		candidate := pta.Quotient(trial)
+		return outcome{trial, candidate, !selectsAnyNegative(g, candidate, negatives)}
+	}
 	for j := automaton.State(1); j < n; j++ {
-		for _, i := range mergeTargets(pta, partition, j, opts.MergeOrder) {
-			result.CandidateMerges++
-			trial := make(map[automaton.State]automaton.State, len(partition)+1)
-			for k, v := range partition {
-				trial[k] = v
+		targets := mergeTargets(pta, partition, j, opts.MergeOrder)
+		merged := false
+		for lo := 0; lo < len(targets) && !merged; lo += workers {
+			hi := lo + workers
+			if hi > len(targets) {
+				hi = len(targets)
 			}
-			trial[j] = i
-			candidate := pta.Quotient(trial)
-			if selectsAnyNegative(g, candidate, negatives) {
-				continue
+			chunk := targets[lo:hi]
+			outcomes := make([]outcome, len(chunk))
+			if len(chunk) == 1 || workers == 1 {
+				for k, i := range chunk {
+					outcomes[k] = tryMerge(j, i)
+				}
+			} else {
+				var wg sync.WaitGroup
+				for k, i := range chunk {
+					wg.Add(1)
+					go func(k int, i automaton.State) {
+						defer wg.Done()
+						outcomes[k] = tryMerge(j, i)
+					}(k, i)
+				}
+				wg.Wait()
 			}
-			partition = trial
-			current = candidate
-			result.Merges++
-			break
+			for k := range outcomes {
+				// Count exactly the attempts the sequential fold would have
+				// made: everything up to and including the accepted merge.
+				result.CandidateMerges++
+				if !outcomes[k].ok {
+					continue
+				}
+				partition = outcomes[k].trial
+				current = outcomes[k].candidate
+				result.Merges++
+				merged = true
+				break
+			}
 		}
 	}
 	return current
@@ -363,7 +428,9 @@ func selectsAnyNegative(g *graph.Graph, n *automaton.NFA, negatives []graph.Node
 }
 
 // Consistent reports whether the query is consistent with the sample on
-// the graph: it selects every positive node and no negative node.
+// the graph: it selects every positive node and no negative node. Callers
+// that re-check the same candidate queries across iterations should
+// evaluate through rpq.EngineCache.Consistent instead.
 func Consistent(g *graph.Graph, query *regex.Expr, sample *Sample) bool {
 	return rpq.Consistent(g, query, sample.PositiveNodes(), sample.Negatives)
 }

@@ -1,0 +1,129 @@
+package rpq
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/automaton"
+	"repro/internal/graph"
+	"repro/internal/regex"
+)
+
+// Query compilation and evaluation caches. The interactive learner calls
+// the evaluator inside every iteration, every consistency check and every
+// strategy probe, frequently with a query it has already seen; both caches
+// key on the canonical query string so those repeats cost one map lookup.
+
+// dfaCacheCap bounds the compiled-DFA memo; the whole memo is dropped when
+// the bound is hit (queries are tiny, eviction precision is not worth the
+// bookkeeping).
+const dfaCacheCap = 4096
+
+var (
+	dfaMu    sync.Mutex
+	dfaCache = make(map[string]*automaton.DFA)
+)
+
+// compiledDFA returns the minimal complete DFA of the query over the given
+// alphabet, memoised by (canonical query string, alphabet). The returned
+// DFA is shared and must be treated as immutable.
+func compiledDFA(query *regex.Expr, alphabet []string) *automaton.DFA {
+	var sb strings.Builder
+	sb.WriteString(query.String())
+	for _, l := range alphabet {
+		sb.WriteByte(0)
+		sb.WriteString(l)
+	}
+	key := sb.String()
+	dfaMu.Lock()
+	if d, ok := dfaCache[key]; ok {
+		dfaMu.Unlock()
+		return d
+	}
+	dfaMu.Unlock()
+	d := automaton.FromRegex(query).Determinize(alphabet).Minimize()
+	dfaMu.Lock()
+	if len(dfaCache) >= dfaCacheCap {
+		dfaCache = make(map[string]*automaton.DFA)
+	}
+	dfaCache[key] = d
+	dfaMu.Unlock()
+	return d
+}
+
+// EngineCache memoises fully evaluated engines for one graph, keyed by the
+// canonical query string. The learner and the interactive strategies probe
+// the same candidate queries over and over (the hypothesis after each
+// merge, the goal query of a simulated user, the learned query after each
+// interaction); the cache turns each repeat into a map lookup.
+//
+// The cache watches the graph's structural version: any mutation of the
+// graph flushes every entry, so a stale engine is never returned. It is
+// safe for concurrent use.
+type EngineCache struct {
+	g *graph.Graph
+
+	mu      sync.Mutex
+	version uint64
+	entries map[string]*Engine
+	hits    uint64
+	misses  uint64
+}
+
+// engineCacheCap bounds the number of cached engines per graph; the whole
+// cache is dropped when the bound is hit.
+const engineCacheCap = 1024
+
+// NewCache returns an empty engine cache for the graph.
+func NewCache(g *graph.Graph) *EngineCache {
+	return &EngineCache{g: g, version: g.Version(), entries: make(map[string]*Engine)}
+}
+
+// Graph returns the graph the cache evaluates against.
+func (c *EngineCache) Graph() *graph.Graph { return c.g }
+
+// Get returns the evaluated engine for the query, building and caching it
+// on first use.
+func (c *EngineCache) Get(query *regex.Expr) *Engine {
+	key := query.String()
+	c.mu.Lock()
+	if v := c.g.Version(); v != c.version {
+		c.version = v
+		c.entries = make(map[string]*Engine)
+	}
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return e
+	}
+	c.misses++
+	builtAt := c.version
+	c.mu.Unlock()
+	e := New(c.g, query)
+	c.mu.Lock()
+	// Only keep the engine if the graph has not moved past the version the
+	// miss was observed at AND the build finished at — otherwise the engine
+	// may reflect a stale revision and must not enter the cache.
+	if c.g.Version() == builtAt && c.version == builtAt {
+		if len(c.entries) >= engineCacheCap {
+			c.entries = make(map[string]*Engine)
+		}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	return e
+}
+
+// Consistent reports whether the query selects every positive and no
+// negative, evaluating through the cache.
+func (c *EngineCache) Consistent(query *regex.Expr, positives, negatives []graph.NodeID) bool {
+	return c.Get(query).ConsistentWith(positives, negatives)
+}
+
+// Stats returns the hit/miss counters and current size, for logging and
+// benchmark plumbing.
+func (c *EngineCache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,74 @@
+package rpq
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/regex"
+)
+
+func TestEngineCacheReusesAndInvalidates(t *testing.T) {
+	g := figure1(t)
+	c := NewCache(g)
+	q := regex.MustParse("(tram+bus)*.cinema")
+	e1 := c.Get(q)
+	e2 := c.Get(regex.MustParse("(tram+bus)*.cinema"))
+	if e1 != e2 {
+		t.Fatal("equal canonical queries must share one engine")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("stats = %d hits, %d misses, %d entries; want 1, 1, 1", hits, misses, size)
+	}
+	// Structural mutation must flush the cache and re-evaluate.
+	g.MustAddEdge("N5", "cinema", "C1")
+	e3 := c.Get(q)
+	if e3 == e1 {
+		t.Fatal("graph mutation must invalidate cached engines")
+	}
+	if !e3.Selects("N5") {
+		t.Fatal("rebuilt engine must see the new edge")
+	}
+	if !reflect.DeepEqual(e3.Selected(), Evaluate(g, q)) {
+		t.Fatal("cached engine must agree with a fresh evaluation")
+	}
+}
+
+func TestEngineCacheConcurrentGets(t *testing.T) {
+	g := figure1(t)
+	c := NewCache(g)
+	queries := []string{"(tram+bus)*.cinema", "bus", "restaurant", "bus.restaurant"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := regex.MustParse(queries[(w+i)%len(queries)])
+				e := c.Get(q)
+				if e == nil || e.Selected() == nil {
+					t.Error("cache returned an unusable engine")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, _, size := c.Stats(); size != len(queries) {
+		t.Fatalf("cache holds %d entries, want %d", size, len(queries))
+	}
+}
+
+func TestConsistentThroughCache(t *testing.T) {
+	g := figure1(t)
+	c := NewCache(g)
+	q := regex.MustParse("(tram+bus)*.cinema")
+	if !c.Consistent(q, []graph.NodeID{"N1", "N2"}, []graph.NodeID{"C1", "R1"}) {
+		t.Fatal("goal query should be consistent with the paper's examples")
+	}
+	if c.Consistent(q, []graph.NodeID{"C1"}, nil) {
+		t.Fatal("facility node is not selected and cannot be a positive")
+	}
+}

@@ -24,44 +24,55 @@ type Pair struct {
 // y spells a word of L(q), in sorted order. If the query is nullable the
 // node itself is included.
 func (e *Engine) PairsFrom(from graph.NodeID) []graph.NodeID {
-	if !e.g.HasNode(from) {
+	ni, ok := e.ix.IndexOf(from)
+	if !ok {
 		return nil
 	}
-	type config struct {
-		node  graph.NodeID
-		state automaton.State
+	S := e.numStates
+	total := e.ix.NumNodes() * S
+	seen := make([]uint64, (total+63)/64)
+	answers := make([]bool, e.ix.NumNodes())
+	count := 0
+	startCfg := e.cfg(ni, e.start)
+	seen[startCfg>>6] |= 1 << (uint(startCfg) & 63)
+	if e.accepting[e.start] {
+		answers[ni] = true
+		count++
 	}
-	start := config{from, e.dfa.Start()}
-	seen := map[config]bool{start: true}
-	queue := []config{start}
-	answers := make(map[graph.NodeID]bool)
-	if e.dfa.IsAccepting(e.dfa.Start()) {
-		answers[from] = true
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, edge := range e.g.Out(cur.node) {
-			next, ok := e.dfa.Next(cur.state, string(edge.Label))
-			if !ok {
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(startCfg))
+	numLabels := e.ix.NumLabels()
+	for head := 0; head < len(queue); head++ {
+		c := int(queue[head])
+		u := int32(c / S)
+		s := automaton.State(c % S)
+		for gl := 0; gl < numLabels; gl++ {
+			outs := e.ix.Out(u, int32(gl))
+			if len(outs) == 0 || e.dfaLabel[gl] < 0 {
 				continue
 			}
-			nc := config{edge.To, next}
-			if seen[nc] {
-				continue
+			ns := e.dfa.NextByIndex(s, e.dfaLabel[gl])
+			acc := e.accepting[ns]
+			for _, v := range outs {
+				nc := e.cfg(v, ns)
+				if seen[nc>>6]&(1<<(uint(nc)&63)) != 0 {
+					continue
+				}
+				seen[nc>>6] |= 1 << (uint(nc) & 63)
+				if acc && !answers[v] {
+					answers[v] = true
+					count++
+				}
+				queue = append(queue, int32(nc))
 			}
-			seen[nc] = true
-			if e.dfa.IsAccepting(next) {
-				answers[edge.To] = true
-			}
-			queue = append(queue, nc)
 		}
 	}
-	out := make([]graph.NodeID, 0, len(answers))
-	for n := range answers {
-		out = append(out, n)
+	out := make([]graph.NodeID, 0, count)
+	for i, yes := range answers {
+		if yes {
+			out = append(out, e.ix.NodeAt(int32(i)))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -6,10 +6,18 @@
 // a word of L(q). Evaluation runs a product-graph reachability between the
 // graph and a DFA of q, which yields the selected set of all nodes in
 // O(|V|·|Q| + |E|·|Q|) after determinisation of q.
+//
+// The evaluation core is integer-indexed and allocation-light: the graph is
+// interned into a CSR view (graph.Indexed), the DFA transition relation is
+// walked by dense label index with a precomputed reverse table, and the
+// product-reachability frontier lives in a flat []uint64 bitset indexed by
+// node*numStates + state. Compiled DFAs are memoised by canonical query
+// string (see cache.go), so re-evaluating the same query on a new graph
+// revision pays only the linear product sweep.
 package rpq
 
 import (
-	"sort"
+	"sync"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -18,36 +26,90 @@ import (
 
 // Engine evaluates one compiled query against one graph. It precomputes
 // the product reachability so that Selected, Selects and Witness are cheap.
+// An Engine is immutable after New and safe for concurrent use.
 type Engine struct {
 	g     *graph.Graph
+	ix    *graph.Indexed
 	query *regex.Expr
 	dfa   *automaton.DFA
-	// selected caches the full answer set.
-	selected map[graph.NodeID]bool
-	// accReach[productKey] is true if an accepting configuration is
-	// reachable from that (node, state) configuration.
-	accReach map[config]bool
+
+	numStates int
+	start     automaton.State
+	// dfaLabel[gl] is the DFA label index of graph label index gl (total in
+	// practice: the DFA alphabet is built as a superset of the graph
+	// alphabet; -1 marks a label with no DFA transition, which every
+	// product walk skips).
+	dfaLabel  []int
+	accepting []bool
+	// accReach is a bitset over configurations node*numStates+state: the
+	// bit is set iff an accepting configuration is reachable.
+	accReach []uint64
+	// selectedIDs caches the sorted answer set.
+	selectedIDs []graph.NodeID
+	// scratch pools per-call BFS state (parent pointers, queue) so that
+	// repeated Witness calls do not reallocate product-sized arrays.
+	scratch sync.Pool
 }
 
-type config struct {
-	node  graph.NodeID
-	state automaton.State
+// witnessScratch is the reusable BFS state of one Witness call. parent is
+// kept all-zero between uses (zero = undiscovered); the owner clears the
+// entries it touched before returning the scratch to the pool.
+type witnessScratch struct {
+	parent []int32
+	lab    []int32
+	queue  []int32
+}
+
+func (e *Engine) getScratch(total int) *witnessScratch {
+	ws, _ := e.scratch.Get().(*witnessScratch)
+	if ws == nil || len(ws.parent) < total {
+		ws = &witnessScratch{
+			parent: make([]int32, total),
+			lab:    make([]int32, total),
+			queue:  make([]int32, 0, 64),
+		}
+	}
+	return ws
+}
+
+// cfg packs a product configuration into one int.
+func (e *Engine) cfg(node int32, state automaton.State) int {
+	return int(node)*e.numStates + int(state)
+}
+
+func (e *Engine) reach(c int) bool {
+	return e.accReach[c>>6]&(1<<(uint(c)&63)) != 0
 }
 
 // New compiles the query against the graph's alphabet and precomputes the
-// selected node set.
+// selected node set. The DFA compilation is memoised per canonical query
+// string, so repeated calls with an equal query only pay the product sweep.
 func New(g *graph.Graph, query *regex.Expr) *Engine {
-	alphabet := make([]string, 0)
-	for _, l := range g.Alphabet() {
-		alphabet = append(alphabet, string(l))
+	ix := g.Indexed()
+	alphabet := make([]string, ix.NumLabels())
+	for l := range alphabet {
+		alphabet[l] = string(ix.LabelAt(int32(l)))
 	}
-	dfa := automaton.FromRegex(query).Determinize(alphabet).Minimize()
+	dfa := compiledDFA(query, alphabet)
 	e := &Engine{
-		g:        g,
-		query:    query,
-		dfa:      dfa,
-		selected: make(map[graph.NodeID]bool),
-		accReach: make(map[config]bool),
+		g:         g,
+		ix:        ix,
+		query:     query,
+		dfa:       dfa,
+		numStates: dfa.NumStates(),
+		start:     dfa.Start(),
+		accepting: dfa.AcceptingMask(),
+	}
+	e.dfaLabel = make([]int, ix.NumLabels())
+	for gl := 0; gl < ix.NumLabels(); gl++ {
+		li, ok := dfa.LabelIndex(string(ix.LabelAt(int32(gl))))
+		if !ok {
+			// Unreachable: the DFA alphabet is built as a superset of the
+			// graph alphabet. Treat a mismatch as "no transition" so a
+			// broken invariant under-selects instead of corrupting results.
+			li = -1
+		}
+		e.dfaLabel[gl] = li
 	}
 	e.computeReachability()
 	return e
@@ -58,67 +120,92 @@ func (e *Engine) Query() *regex.Expr { return e.query }
 
 // computeReachability marks every configuration (node, state) from which an
 // accepting DFA state is reachable in the product graph, by a backward
-// breadth-first propagation from accepting configurations.
+// breadth-first propagation from accepting configurations over the CSR
+// in-edges and the DFA reverse-transition table.
 func (e *Engine) computeReachability() {
-	// Build reverse product adjacency lazily: for a configuration (u, s')
-	// its predecessors are configurations (v, s) with an edge v -a-> u and
-	// DFA transition s -a-> s'. Rather than materialising it, iterate to a
-	// fixpoint using a worklist seeded with accepting configurations.
-	//
+	n := e.ix.NumNodes()
+	S := e.numStates
+	total := n * S
+	e.accReach = make([]uint64, (total+63)/64)
+	if total == 0 {
+		return
+	}
+	queue := make([]int32, 0, total)
 	// Seed: every (node, state) with state accepting.
-	var queue []config
-	for _, node := range e.g.Nodes() {
-		for s := automaton.State(0); s < automaton.State(e.dfa.NumStates()); s++ {
-			if e.dfa.IsAccepting(s) {
-				c := config{node, s}
-				e.accReach[c] = true
-				queue = append(queue, c)
+	for s := 0; s < S; s++ {
+		if !e.accepting[s] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			c := i*S + s
+			e.accReach[c>>6] |= 1 << (uint(c) & 63)
+			queue = append(queue, int32(c))
+		}
+	}
+	rev := e.dfa.Reverse()
+	numLabels := e.ix.NumLabels()
+	for head := 0; head < len(queue); head++ {
+		c := int(queue[head])
+		u := int32(c / S)
+		sp := automaton.State(c % S)
+		for gl := 0; gl < numLabels; gl++ {
+			ins := e.ix.In(u, int32(gl))
+			if len(ins) == 0 || e.dfaLabel[gl] < 0 {
+				continue
 			}
-		}
-	}
-	// Predecessor exploration: for configuration (u, s') examine incoming
-	// graph edges v -a-> u and DFA states s with s -a-> s'.
-	// Precompute DFA reverse transitions per label.
-	reverse := make(map[string]map[automaton.State][]automaton.State)
-	for _, l := range e.dfa.Alphabet() {
-		reverse[l] = make(map[automaton.State][]automaton.State)
-		for s := automaton.State(0); s < automaton.State(e.dfa.NumStates()); s++ {
-			next, _ := e.dfa.Next(s, l)
-			reverse[l][next] = append(reverse[l][next], s)
-		}
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, edge := range e.g.In(cur.node) {
-			preds := reverse[string(edge.Label)][cur.state]
-			for _, s := range preds {
-				c := config{edge.From, s}
-				if !e.accReach[c] {
-					e.accReach[c] = true
-					queue = append(queue, c)
+			preds := rev.Pred(sp, e.dfaLabel[gl])
+			if len(preds) == 0 {
+				continue
+			}
+			for _, v := range ins {
+				base := int(v) * S
+				for _, s := range preds {
+					pc := base + int(s)
+					if e.accReach[pc>>6]&(1<<(uint(pc)&63)) == 0 {
+						e.accReach[pc>>6] |= 1 << (uint(pc) & 63)
+						queue = append(queue, int32(pc))
+					}
 				}
 			}
 		}
 	}
-	start := e.dfa.Start()
-	for _, node := range e.g.Nodes() {
-		if e.accReach[config{node, start}] {
-			e.selected[node] = true
+	// Cache the sorted answer set: node indices are interned in sorted
+	// NodeID order, so one ascending sweep yields sorted IDs.
+	for i := 0; i < n; i++ {
+		if e.reach(i*S + int(e.start)) {
+			e.selectedIDs = append(e.selectedIDs, e.ix.NodeAt(int32(i)))
 		}
 	}
 }
 
 // Selects reports whether the query selects the node.
-func (e *Engine) Selects(node graph.NodeID) bool { return e.selected[node] }
+func (e *Engine) Selects(node graph.NodeID) bool {
+	i, ok := e.ix.IndexOf(node)
+	if !ok {
+		return false
+	}
+	return e.reach(e.cfg(i, e.start))
+}
+
+// SameSelection reports whether both engines select exactly the same node
+// set. Both engines must evaluate over the same graph; the comparison is
+// linear in the answer size.
+func (e *Engine) SameSelection(other *Engine) bool {
+	if len(e.selectedIDs) != len(other.selectedIDs) {
+		return false
+	}
+	for i := range e.selectedIDs {
+		if e.selectedIDs[i] != other.selectedIDs[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Selected returns the sorted list of selected nodes.
 func (e *Engine) Selected() []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(e.selected))
-	for id := range e.selected {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]graph.NodeID, len(e.selectedIDs))
+	copy(out, e.selectedIDs)
 	return out
 }
 
@@ -126,46 +213,95 @@ func (e *Engine) Selected() []graph.NodeID {
 // whose labels spell a word of L(q), and ok=false if the node is not
 // selected. A selected node whose shortest witness is the empty word (a
 // nullable query) returns an empty edge slice with ok=true.
+//
+// The BFS stores one parent pointer per discovered configuration instead of
+// copying the partial path into every queue entry, so extraction is linear
+// in the explored product rather than quadratic in path length.
 func (e *Engine) Witness(node graph.NodeID) ([]graph.Edge, bool) {
-	if !e.selected[node] {
+	ni, ok := e.ix.IndexOf(node)
+	if !ok || !e.reach(e.cfg(ni, e.start)) {
 		return nil, false
 	}
-	start := config{node, e.dfa.Start()}
-	if e.dfa.IsAccepting(e.dfa.Start()) {
+	if e.accepting[e.start] {
 		return []graph.Edge{}, true
 	}
-	type entry struct {
-		c    config
-		path []graph.Edge
-	}
-	seen := map[config]bool{start: true}
-	queue := []entry{{start, nil}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, edge := range e.g.Out(cur.c.node) {
-			next, ok := e.dfa.Next(cur.c.state, string(edge.Label))
-			if !ok {
+	S := e.numStates
+	total := e.ix.NumNodes() * S
+	// parent[c] = parent configuration + 1 (0 = undiscovered, -1 = root);
+	// lab[c] = graph label index of the edge that discovered c.
+	ws := e.getScratch(total)
+	parent, lab := ws.parent, ws.lab
+	startCfg := e.cfg(ni, e.start)
+	parent[startCfg] = -1
+	queue := append(ws.queue[:0], int32(startCfg))
+	numLabels := e.ix.NumLabels()
+	found := -1
+search:
+	for head := 0; head < len(queue); head++ {
+		c := int(queue[head])
+		u := int32(c / S)
+		s := automaton.State(c % S)
+		for gl := 0; gl < numLabels; gl++ {
+			outs := e.ix.Out(u, int32(gl))
+			if len(outs) == 0 || e.dfaLabel[gl] < 0 {
 				continue
 			}
-			nc := config{edge.To, next}
-			if seen[nc] {
-				continue
+			next := e.dfa.NextByIndex(s, e.dfaLabel[gl])
+			for _, v := range outs {
+				nc := e.cfg(v, next)
+				if parent[nc] != 0 {
+					continue
+				}
+				// Only explore configurations that can still reach
+				// acceptance; this keeps the BFS linear in the useful
+				// product.
+				if !e.reach(nc) {
+					continue
+				}
+				parent[nc] = int32(c) + 1
+				lab[nc] = int32(gl)
+				if e.accepting[next] {
+					found = nc
+					break search
+				}
+				queue = append(queue, int32(nc))
 			}
-			// Only explore configurations that can still reach acceptance;
-			// this keeps the BFS linear in the useful product.
-			if !e.accReach[nc] {
-				continue
-			}
-			seen[nc] = true
-			path := append(append([]graph.Edge(nil), cur.path...), edge)
-			if e.dfa.IsAccepting(next) {
-				return path, true
-			}
-			queue = append(queue, entry{nc, path})
 		}
 	}
-	return nil, false
+	var path []graph.Edge
+	if found >= 0 {
+		path = e.reconstruct(parent, lab, found)
+		parent[found] = 0
+	}
+	// Restore the all-zero invariant before pooling the scratch: only the
+	// discovered configurations (all of which sit in the queue) were touched.
+	for _, c := range queue {
+		parent[c] = 0
+	}
+	ws.queue = queue[:0]
+	e.scratch.Put(ws)
+	return path, found >= 0
+}
+
+// reconstruct walks the parent pointers back from the accepting
+// configuration and emits the edge sequence in forward order.
+func (e *Engine) reconstruct(parent, parentLab []int32, last int) []graph.Edge {
+	depth := 0
+	for c := last; parent[c] != -1; c = int(parent[c]) - 1 {
+		depth++
+	}
+	path := make([]graph.Edge, depth)
+	S := e.numStates
+	for c := last; parent[c] != -1; c = int(parent[c]) - 1 {
+		p := int(parent[c]) - 1
+		depth--
+		path[depth] = graph.Edge{
+			From:  e.ix.NodeAt(int32(p / S)),
+			Label: e.ix.LabelAt(parentLab[c]),
+			To:    e.ix.NodeAt(int32(c / S)),
+		}
+	}
+	return path
 }
 
 // Evaluate is a convenience helper that compiles and evaluates the query in
@@ -177,37 +313,46 @@ func Evaluate(g *graph.Graph, query *regex.Expr) []graph.NodeID {
 // SelectsWithin reports whether the node has a path of length at most
 // maxLen whose labels are in L(q). It is used by the bounded strategies.
 func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
-	type entry struct {
-		c     config
-		depth int
+	ni, ok := e.ix.IndexOf(node)
+	if !ok {
+		return false
 	}
-	start := config{node, e.dfa.Start()}
-	if e.dfa.IsAccepting(e.dfa.Start()) {
+	if e.accepting[e.start] {
 		return true
 	}
-	seen := map[config]int{start: 0}
-	queue := []entry{{start, 0}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur.depth >= maxLen {
-			continue
+	S := e.numStates
+	total := e.ix.NumNodes() * S
+	seen := make([]uint64, (total+63)/64)
+	startCfg := e.cfg(ni, e.start)
+	seen[startCfg>>6] |= 1 << (uint(startCfg) & 63)
+	frontier := []int32{int32(startCfg)}
+	var next []int32
+	numLabels := e.ix.NumLabels()
+	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
+		next = next[:0]
+		for _, cc := range frontier {
+			c := int(cc)
+			u := int32(c / S)
+			s := automaton.State(c % S)
+			for gl := 0; gl < numLabels; gl++ {
+				outs := e.ix.Out(u, int32(gl))
+				if len(outs) == 0 || e.dfaLabel[gl] < 0 {
+					continue
+				}
+				ns := e.dfa.NextByIndex(s, e.dfaLabel[gl])
+				if e.accepting[ns] {
+					return true
+				}
+				for _, v := range outs {
+					nc := e.cfg(v, ns)
+					if seen[nc>>6]&(1<<(uint(nc)&63)) == 0 {
+						seen[nc>>6] |= 1 << (uint(nc) & 63)
+						next = append(next, int32(nc))
+					}
+				}
+			}
 		}
-		for _, edge := range e.g.Out(cur.c.node) {
-			next, ok := e.dfa.Next(cur.c.state, string(edge.Label))
-			if !ok {
-				continue
-			}
-			nc := config{edge.To, next}
-			if d, ok := seen[nc]; ok && d <= cur.depth+1 {
-				continue
-			}
-			seen[nc] = cur.depth + 1
-			if e.dfa.IsAccepting(next) {
-				return true
-			}
-			queue = append(queue, entry{nc, cur.depth + 1})
-		}
+		frontier, next = next, frontier
 	}
 	return false
 }
@@ -215,7 +360,12 @@ func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
 // Consistent reports whether the query selects every node of positives and
 // none of negatives on the graph.
 func Consistent(g *graph.Graph, query *regex.Expr, positives, negatives []graph.NodeID) bool {
-	e := New(g, query)
+	return New(g, query).ConsistentWith(positives, negatives)
+}
+
+// ConsistentWith reports whether the engine's query selects every node of
+// positives and none of negatives.
+func (e *Engine) ConsistentWith(positives, negatives []graph.NodeID) bool {
 	for _, p := range positives {
 		if !e.Selects(p) {
 			return false

@@ -1,0 +1,84 @@
+package rpq
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/regex"
+)
+
+// diamondChain builds a chain of k diamonds, each contributing two
+// equal-length "a" paths, followed by a final "c" edge:
+//
+//	s0 ={a,a}=> m0 ={a,a}=> s1 ... sk -c-> t
+//
+// The graph has 2^k distinct shortest accepted paths for a*.c, all of
+// length 2k+1, which is exactly the shape that made the per-entry
+// path-copying BFS of the old Witness quadratic.
+func diamondChain(k int) *graph.Graph {
+	g := graph.New()
+	for i := 0; i < k; i++ {
+		s := graph.NodeID(fmt.Sprintf("s%02d", i))
+		hi := graph.NodeID(fmt.Sprintf("h%02d", i))
+		lo := graph.NodeID(fmt.Sprintf("l%02d", i))
+		next := graph.NodeID(fmt.Sprintf("s%02d", i+1))
+		g.MustAddEdge(s, "a", hi)
+		g.MustAddEdge(s, "a", lo)
+		g.MustAddEdge(hi, "a", next)
+		g.MustAddEdge(lo, "a", next)
+	}
+	g.MustAddEdge(graph.NodeID(fmt.Sprintf("s%02d", k)), "c", "t")
+	return g
+}
+
+// TestWitnessShortestOnManyEqualLengthPaths is the regression test for the
+// parent-pointer rewrite of Witness: on a graph with exponentially many
+// equal-length shortest paths the returned witness must still be one of
+// the shortest, valid, and cheap to extract.
+func TestWitnessShortestOnManyEqualLengthPaths(t *testing.T) {
+	const k = 10 // 2^10 = 1024 tied shortest paths
+	g := diamondChain(k)
+	q := regex.MustParse("(a)*.c")
+	e := New(g, q)
+	start := graph.NodeID("s00")
+	if !e.Selects(start) {
+		t.Fatalf("%s should be selected by %s", start, q)
+	}
+	w, ok := e.Witness(start)
+	if !ok {
+		t.Fatalf("no witness for %s", start)
+	}
+	if want := 2*k + 1; len(w) != want {
+		t.Fatalf("witness length = %d, want shortest = %d", len(w), want)
+	}
+	assertValidWitness(t, g, q, start, w)
+
+	// Every selected node must get a shortest witness too; the diamond
+	// interior nodes all reach t.
+	for _, n := range e.Selected() {
+		wn, ok := e.Witness(n)
+		if !ok {
+			t.Fatalf("selected node %s has no witness", n)
+		}
+		assertValidWitness(t, g, q, n, wn)
+	}
+}
+
+// TestWitnessRepeatedCallsIndependent guards the pooled BFS scratch: the
+// paths returned by consecutive calls must not alias each other.
+func TestWitnessRepeatedCallsIndependent(t *testing.T) {
+	g := diamondChain(3)
+	q := regex.MustParse("(a)*.c")
+	e := New(g, q)
+	w1, ok1 := e.Witness("s00")
+	w2, ok2 := e.Witness("s01")
+	if !ok1 || !ok2 {
+		t.Fatal("expected witnesses for both nodes")
+	}
+	if len(w1) != 7 || len(w2) != 5 {
+		t.Fatalf("witness lengths = %d, %d; want 7, 5", len(w1), len(w2))
+	}
+	assertValidWitness(t, g, q, "s00", w1)
+	assertValidWitness(t, g, q, "s01", w2)
+}

@@ -69,6 +69,9 @@ type Simulated struct {
 	g      *graph.Graph
 	goal   *regex.Expr
 	engine *rpq.Engine
+	// cache memoises engines for the learned queries the session asks
+	// about; consecutive interactions frequently re-learn the same query.
+	cache *rpq.EngineCache
 	// MaxZoom bounds how many times the user asks to zoom before deciding
 	// with the information at hand (her "patience"). Zero means 2.
 	MaxZoom int
@@ -77,10 +80,12 @@ type Simulated struct {
 
 // NewSimulated returns a simulated user pursuing the goal query on g.
 func NewSimulated(g *graph.Graph, goal *regex.Expr) *Simulated {
+	cache := rpq.NewCache(g)
 	return &Simulated{
 		g:       g,
 		goal:    goal,
-		engine:  rpq.New(g, goal),
+		engine:  cache.Get(goal),
+		cache:   cache,
 		MaxZoom: 2,
 		zoomed:  make(map[graph.NodeID]int),
 	}
@@ -179,13 +184,7 @@ func (u *Simulated) Satisfied(learned *regex.Expr) bool {
 	if learned == nil {
 		return false
 	}
-	learnedEngine := rpq.New(u.g, learned)
-	for _, node := range u.g.Nodes() {
-		if learnedEngine.Selects(node) != u.engine.Selects(node) {
-			return false
-		}
-	}
-	return true
+	return u.cache.Get(learned).SameSelection(u.engine)
 }
 
 // Noisy wraps a user and flips a fraction of its label decisions. It is
