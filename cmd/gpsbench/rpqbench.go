@@ -37,6 +37,17 @@ func runRPQBench(outPath string, seed int64) error {
 	}
 	cache := rpq.NewCache(g)
 
+	// The sharded-evaluation comparison runs on a much larger graph (the
+	// 60x60 grid clears the engine's parallel threshold by a wide margin),
+	// with the number of workers the service would use on this machine.
+	largeG := dataset.Transport(dataset.TransportOptions{Rows: 60, Cols: 60, Seed: seed, FacilityRate: 0.3})
+	workers := rpq.DefaultWorkers()
+	seqLarge := rpq.New(largeG, q)
+	parLarge := rpq.NewWith(largeG, q, rpq.Options{Workers: workers})
+	if !seqLarge.SameSelection(parLarge) {
+		return fmt.Errorf("rpqbench: sharded evaluation disagrees with sequential on the large graph")
+	}
+
 	benchmarks := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -75,6 +86,20 @@ func runRPQBench(outPath string, seed int64) error {
 				engine.PairsFrom(selected[i%len(selected)])
 			}
 		}},
+		{"RPQEvaluationLargeSequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(rpq.New(largeG, q).Selected()) == 0 {
+					b.Fatal("no nodes selected")
+				}
+			}
+		}},
+		{"RPQEvaluationLargeSharded", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if len(rpq.NewWith(largeG, q, rpq.Options{Workers: workers}).Selected()) == 0 {
+					b.Fatal("no nodes selected")
+				}
+			}
+		}},
 	}
 
 	results := make([]rpqBenchResult, 0, len(benchmarks))
@@ -92,13 +117,17 @@ func runRPQBench(outPath string, seed int64) error {
 	}
 
 	payload := struct {
-		Graph   string           `json:"graph"`
-		Query   string           `json:"query"`
-		Results []rpqBenchResult `json:"results"`
+		Graph      string           `json:"graph"`
+		LargeGraph string           `json:"large_graph"`
+		Query      string           `json:"query"`
+		Workers    int              `json:"workers"`
+		Results    []rpqBenchResult `json:"results"`
 	}{
-		Graph:   fmt.Sprintf("transport-10x10 (%d nodes, %d edges)", g.NumNodes(), g.NumEdges()),
-		Query:   q.String(),
-		Results: results,
+		Graph:      fmt.Sprintf("transport-10x10 (%d nodes, %d edges)", g.NumNodes(), g.NumEdges()),
+		LargeGraph: fmt.Sprintf("transport-60x60 (%d nodes, %d edges)", largeG.NumNodes(), largeG.NumEdges()),
+		Query:      q.String(),
+		Workers:    workers,
+		Results:    results,
 	}
 	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {

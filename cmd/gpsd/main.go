@@ -1,0 +1,106 @@
+// Command gpsd serves the interactive query-learning system over HTTP: a
+// multi-tenant front-end that loads graphs, runs many concurrent learning
+// sessions (manual or simulated) and evaluates path queries with sharded
+// product reachability and a shared per-graph LRU engine cache.
+//
+// Usage:
+//
+//	gpsd                                  # listen on :8080
+//	gpsd -addr :9090 -shards 8            # custom port, 8 evaluation workers
+//	gpsd -preload demo=figure1            # register a built-in dataset at boot
+//	gpsd -preload big=transport:30x30     # sized transport grid
+//
+// See the README's "Service" section for the API and curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+// parsePreload turns "name=kind" or "name=transport:RxC" into a LoadSpec.
+func parsePreload(arg string) (name string, spec service.LoadSpec, err error) {
+	name, val, ok := strings.Cut(arg, "=")
+	if !ok || name == "" || val == "" {
+		return "", spec, fmt.Errorf("want name=dataset, got %q", arg)
+	}
+	kind, size, sized := strings.Cut(val, ":")
+	ds := service.DatasetSpec{Kind: kind, Seed: 1}
+	if sized {
+		var rows, cols int
+		if _, err := fmt.Sscanf(size, "%dx%d", &rows, &cols); err == nil {
+			ds.Rows, ds.Cols = rows, cols
+			ds.Nodes = rows * cols
+		} else if _, err := fmt.Sscanf(size, "%d", &ds.Nodes); err != nil {
+			return "", spec, fmt.Errorf("unparsable dataset size %q (want RxC or N)", size)
+		}
+	}
+	return name, service.LoadSpec{Format: "dataset", Dataset: ds}, nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 0, "evaluation worker-pool size (0 = one per CPU, 1 = sequential)")
+		cacheCap = flag.Int("cache-cap", 0, "per-graph engine-cache capacity (0 = default)")
+		maxSess  = flag.Int("max-sessions", 0, "live session limit (0 = default)")
+		preload  = flag.String("preload", "", "comma-separated name=dataset graphs to register at boot (figure1, transport[:RxC], random[:N], scale-free[:N])")
+	)
+	flag.Parse()
+
+	srv := service.NewServer(service.Options{
+		EvalWorkers:   *shards,
+		CacheCapacity: *cacheCap,
+		MaxSessions:   *maxSess,
+	})
+	if *preload != "" {
+		for _, arg := range strings.Split(*preload, ",") {
+			name, spec, err := parsePreload(strings.TrimSpace(arg))
+			if err != nil {
+				log.Fatalf("gpsd: -preload: %v", err)
+			}
+			g, err := service.BuildGraph(spec)
+			if err != nil {
+				log.Fatalf("gpsd: -preload %s: %v", name, err)
+			}
+			h, err := srv.Registry().Register(name, g)
+			if err != nil {
+				log.Fatalf("gpsd: -preload %s: %v", name, err)
+			}
+			log.Printf("gpsd: registered graph %q (%d nodes, %d edges)", name, h.Graph().NumNodes(), h.Graph().NumEdges())
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("gpsd: listening on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("gpsd: %v", err)
+	case sig := <-sigCh:
+		log.Printf("gpsd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Fatalf("gpsd: shutdown: %v", err)
+		}
+	}
+}

@@ -26,6 +26,21 @@ func TestEvaluateFigure1(t *testing.T) {
 	}
 }
 
+func TestNewWithShardedEvaluation(t *testing.T) {
+	seq := New(dataset.Figure1())
+	par := NewWith(dataset.Figure1(), Config{EvalWorkers: 4, CacheCapacity: 8})
+	q := dataset.Figure1GoalQuery()
+	a, b := seq.Evaluate(q), par.Evaluate(q)
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("sharded system selected %v, sequential %v", b.Nodes, a.Nodes)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("sharded system selected %v, sequential %v", b.Nodes, a.Nodes)
+		}
+	}
+}
+
 func TestEvaluateString(t *testing.T) {
 	sys := New(dataset.Figure1())
 	res, err := sys.EvaluateString("cinema")

@@ -1,6 +1,7 @@
 package interactive
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/automaton"
@@ -11,6 +12,94 @@ import (
 	"repro/internal/rpq"
 	"repro/internal/user"
 )
+
+// cancelingUser cancels the session context from inside its first
+// LabelNode callback — modelling a remote client tearing the session down
+// while the loop is parked on a question — and then answers positive.
+type cancelingUser struct {
+	cancel context.CancelFunc
+	calls  int
+}
+
+func (u *cancelingUser) LabelNode(node graph.NodeID, n *graph.Neighborhood, canZoom bool) user.Decision {
+	u.calls++
+	u.cancel()
+	return user.Positive
+}
+
+func (u *cancelingUser) ValidatePath(node graph.NodeID, words [][]string, candidate []string) []string {
+	return nil
+}
+
+func (u *cancelingUser) Satisfied(learned *regex.Expr) bool { return false }
+
+func TestRunContextCancelDiscardsFabricatedDecision(t *testing.T) {
+	g := dataset.Figure1()
+	ctx, cancel := context.WithCancel(context.Background())
+	u := &cancelingUser{cancel: cancel}
+	tr, err := NewSession(g, u, Options{}).RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Halt != HaltCanceled {
+		t.Fatalf("halt = %q, want %q", tr.Halt, HaltCanceled)
+	}
+	if u.calls != 1 {
+		t.Fatalf("user was asked %d times after cancellation", u.calls)
+	}
+	// The positive decision fabricated while canceling must not have been
+	// recorded, and no interaction must appear in the transcript.
+	if len(tr.Interactions) != 0 || len(tr.Sample.Positives) != 0 || len(tr.Sample.Negatives) != 0 {
+		t.Fatalf("canceled session recorded state: %d interactions, sample %+v", len(tr.Interactions), tr.Sample)
+	}
+}
+
+// pathCancelingUser answers positive, then cancels from inside the
+// path-validation callback.
+type pathCancelingUser struct {
+	cancel context.CancelFunc
+}
+
+func (u *pathCancelingUser) LabelNode(node graph.NodeID, n *graph.Neighborhood, canZoom bool) user.Decision {
+	return user.Positive
+}
+
+func (u *pathCancelingUser) ValidatePath(node graph.NodeID, words [][]string, candidate []string) []string {
+	u.cancel()
+	return nil
+}
+
+func (u *pathCancelingUser) Satisfied(learned *regex.Expr) bool { return false }
+
+func TestRunContextCancelDuringPathValidationRecordsNothing(t *testing.T) {
+	g := dataset.Figure1()
+	ctx, cancel := context.WithCancel(context.Background())
+	u := &pathCancelingUser{cancel: cancel}
+	tr, err := NewSession(g, u, Options{PathValidation: true}).RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Halt != HaltCanceled {
+		t.Fatalf("halt = %q, want %q", tr.Halt, HaltCanceled)
+	}
+	if len(tr.Sample.Positives) != 0 {
+		t.Fatalf("fabricated validated word entered the sample: %+v", tr.Sample.Positives)
+	}
+}
+
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := dataset.Figure1()
+	u := user.NewSimulated(g, dataset.Figure1GoalQuery())
+	tr, err := NewSession(g, u, Options{}).RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Halt != HaltCanceled || len(tr.Interactions) != 0 {
+		t.Fatalf("halt = %q with %d interactions, want immediate cancel", tr.Halt, len(tr.Interactions))
+	}
+}
 
 func TestSessionFigure1WithPathValidationRecoversGoal(t *testing.T) {
 	g := dataset.Figure1()

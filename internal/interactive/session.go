@@ -1,6 +1,8 @@
 package interactive
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/graph"
@@ -34,6 +36,11 @@ type Options struct {
 	MaxInteractions int
 	// Learn configures the learner invoked after each interaction.
 	Learn learn.Options
+	// Cache, when non-nil and built for the session's graph, is shared by
+	// the session instead of allocating a private engine cache. A service
+	// hosting many sessions on one graph passes the graph's shared cache so
+	// concurrent sessions reuse each other's evaluated hypotheses.
+	Cache *rpq.EngineCache
 }
 
 func (o *Options) withDefaults() Options {
@@ -64,6 +71,7 @@ const (
 	HaltSatisfied     HaltReason = "user-satisfied"
 	HaltNoInformative HaltReason = "no-informative-nodes"
 	HaltMaxReached    HaltReason = "max-interactions"
+	HaltCanceled      HaltReason = "canceled"
 )
 
 // Interaction records one round of the Figure 2 loop.
@@ -129,13 +137,17 @@ type Session struct {
 
 // NewSession prepares a session on the graph for the given user.
 func NewSession(g *graph.Graph, u user.User, opts Options) *Session {
+	cache := opts.Cache
+	if cache == nil || cache.Graph() != g {
+		cache = rpq.NewCache(g)
+	}
 	s := &Session{
 		g:      g,
 		u:      u,
 		opts:   opts.withDefaults(),
 		sample: learn.NewSample(),
 		pruned: make(map[graph.NodeID]bool),
-		cache:  rpq.NewCache(g),
+		cache:  cache,
 	}
 	if ca, ok := s.opts.Strategy.(CacheAware); ok {
 		ca.SetCache(s.cache)
@@ -146,9 +158,27 @@ func NewSession(g *graph.Graph, u user.User, opts Options) *Session {
 // Run executes the interactive loop until a halt condition fires and
 // returns the transcript.
 func (s *Session) Run() (*Transcript, error) {
+	return s.RunContext(context.Background())
+}
+
+// errCanceled aborts an in-flight interaction when the session context is
+// done; RunContext translates it into HaltCanceled.
+var errCanceled = errors.New("interactive: session canceled")
+
+// RunContext executes the interactive loop like Run and additionally halts
+// with HaltCanceled as soon as the context is done. Cancellation is
+// checked between interactions and again inside each interaction after
+// every user callback, so a decision fabricated by a user implementation
+// that unblocked on the same context is never recorded and no learner
+// iteration runs on a canceled session.
+func (s *Session) RunContext(ctx context.Context) (*Transcript, error) {
 	t := &Transcript{Sample: s.sample, Strategy: s.opts.Strategy.Name(), Halt: HaltMaxReached}
 	hypothesisAware, _ := s.opts.Strategy.(HypothesisAware)
 	for len(t.Interactions) < s.opts.MaxInteractions {
+		if ctx.Err() != nil {
+			t.Halt = HaltCanceled
+			break
+		}
 		if hypothesisAware != nil {
 			hypothesisAware.SetHypothesis(t.Final)
 		}
@@ -157,7 +187,11 @@ func (s *Session) Run() (*Transcript, error) {
 			t.Halt = HaltNoInformative
 			break
 		}
-		inter, err := s.interact(node)
+		inter, err := s.interact(ctx, node)
+		if errors.Is(err, errCanceled) {
+			t.Halt = HaltCanceled
+			break
+		}
 		if err != nil {
 			return t, err
 		}
@@ -178,7 +212,7 @@ func (s *Session) Run() (*Transcript, error) {
 
 // interact runs one round: propose, show neighbourhood, zoom, label,
 // validate path, propagate labels/prune, learn.
-func (s *Session) interact(node graph.NodeID) (*Interaction, error) {
+func (s *Session) interact(ctx context.Context, node graph.NodeID) (*Interaction, error) {
 	inter := &Interaction{Node: node}
 
 	// Steps 4-5 of Figure 2: show the neighbourhood, let the user zoom.
@@ -201,6 +235,11 @@ func (s *Session) interact(node graph.NodeID) (*Interaction, error) {
 		inter.Zooms++
 		radius++
 	}
+	// A canceled session must not record whatever decision the unblocked
+	// user callback fabricated.
+	if ctx.Err() != nil {
+		return nil, errCanceled
+	}
 	inter.Radius = radius
 	inter.Decision = decision
 
@@ -210,6 +249,12 @@ func (s *Session) interact(node graph.NodeID) (*Interaction, error) {
 		var word []string
 		if s.opts.PathValidation {
 			word = s.validatePath(node, radius)
+			// Same guard as after the label loop: a word fabricated by a
+			// ValidatePath callback that unblocked on cancellation must not
+			// enter the sample (nor drive label propagation).
+			if ctx.Err() != nil {
+				return nil, errCanceled
+			}
 		}
 		s.sample.AddPositive(node, word)
 		inter.ValidatedWord = word
@@ -228,6 +273,13 @@ func (s *Session) interact(node graph.NodeID) (*Interaction, error) {
 	// Only a new negative can prune additional nodes.
 	if decision == user.Negative {
 		inter.Pruned = s.prune()
+	}
+
+	// Skip the learner on a canceled session: its result would be thrown
+	// away, and the candidate-merge checks are the expensive part of a
+	// round.
+	if ctx.Err() != nil {
+		return nil, errCanceled
 	}
 
 	// Learn a query from all labels collected so far.

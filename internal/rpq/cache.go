@@ -1,6 +1,7 @@
 package rpq
 
 import (
+	"container/list"
 	"strings"
 	"sync"
 
@@ -57,30 +58,98 @@ func compiledDFA(query *regex.Expr, alphabet []string) *automaton.DFA {
 // merge, the goal query of a simulated user, the learned query after each
 // interaction); the cache turns each repeat into a map lookup.
 //
+// Eviction is least-recently-used: when the capacity is reached the entry
+// that has gone longest without a Get is dropped, so many concurrent
+// sessions sharing one cache keep their hot hypothesis queries resident
+// instead of periodically losing the whole working set to a flush.
+//
 // The cache watches the graph's structural version: any mutation of the
 // graph flushes every entry, so a stale engine is never returned. It is
 // safe for concurrent use.
 type EngineCache struct {
-	g *graph.Graph
+	g       *graph.Graph
+	cap     int
+	workers int
 
 	mu      sync.Mutex
 	version uint64
-	entries map[string]*Engine
-	hits    uint64
-	misses  uint64
+	// entries maps canonical query string to its *list.Element whose Value
+	// is a *cacheEntry; lru orders elements most-recently-used first.
+	entries map[string]*list.Element
+	lru     *list.List
+	// inflight coalesces concurrent misses on one key: the first misser
+	// builds, later missers wait on done and share the result instead of
+	// burning a full product sweep each. Flushed alongside entries on a
+	// version change so nobody joins a stale build.
+	inflight  map[string]*inflightBuild
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
-// engineCacheCap bounds the number of cached engines per graph; the whole
-// cache is dropped when the bound is hit.
-const engineCacheCap = 1024
+// inflightBuild is one engine build in progress; e is valid once done is
+// closed.
+type inflightBuild struct {
+	done chan struct{}
+	e    *Engine
+}
 
-// NewCache returns an empty engine cache for the graph.
+// cacheEntry is one resident engine together with its key, so that
+// evicting the list tail can also delete the map entry.
+type cacheEntry struct {
+	key    string
+	engine *Engine
+}
+
+// DefaultCacheCapacity bounds the number of cached engines per graph when
+// CacheOptions.Capacity is zero.
+const DefaultCacheCapacity = 1024
+
+// CacheOptions configures an EngineCache.
+type CacheOptions struct {
+	// Capacity is the maximum number of resident engines; the
+	// least-recently-used entry is evicted beyond it. 0 means
+	// DefaultCacheCapacity.
+	Capacity int
+	// Workers is passed to NewWith for engines built through the cache;
+	// 0 or 1 builds sequentially.
+	Workers int
+}
+
+// NewCache returns an empty engine cache for the graph with default
+// options (DefaultCacheCapacity, sequential evaluation).
 func NewCache(g *graph.Graph) *EngineCache {
-	return &EngineCache{g: g, version: g.Version(), entries: make(map[string]*Engine)}
+	return NewCacheWith(g, CacheOptions{})
+}
+
+// NewCacheWith returns an empty engine cache with explicit capacity and
+// evaluation parallelism.
+func NewCacheWith(g *graph.Graph, opts CacheOptions) *EngineCache {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCacheCapacity
+	}
+	return &EngineCache{
+		g:        g,
+		cap:      opts.Capacity,
+		workers:  opts.Workers,
+		version:  g.Version(),
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*inflightBuild),
+	}
 }
 
 // Graph returns the graph the cache evaluates against.
 func (c *EngineCache) Graph() *graph.Graph { return c.g }
+
+// flushLocked drops every entry and detaches in-flight builds (their
+// builders still complete and wake their waiters, but nobody new joins
+// them). Caller holds c.mu.
+func (c *EngineCache) flushLocked() {
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.inflight = make(map[string]*inflightBuild)
+}
 
 // Get returns the evaluated engine for the query, building and caching it
 // on first use.
@@ -89,28 +158,61 @@ func (c *EngineCache) Get(query *regex.Expr) *Engine {
 	c.mu.Lock()
 	if v := c.g.Version(); v != c.version {
 		c.version = v
-		c.entries = make(map[string]*Engine)
+		c.flushLocked()
 	}
-	if e, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
 		c.hits++
+		c.lru.MoveToFront(el)
+		e := el.Value.(*cacheEntry).engine
 		c.mu.Unlock()
 		return e
 	}
+	if fl, ok := c.inflight[key]; ok {
+		// Another goroutine is already building this engine for the same
+		// graph version; share its result instead of building again.
+		c.hits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.e
+	}
 	c.misses++
+	fl := &inflightBuild{done: make(chan struct{})}
+	c.inflight[key] = fl
 	builtAt := c.version
+	workers := c.workers
 	c.mu.Unlock()
-	e := New(c.g, query)
+	var e *Engine
+	if workers > 1 {
+		e = NewWith(c.g, query, Options{Workers: workers})
+	} else {
+		e = New(c.g, query)
+	}
+	fl.e = e
+	close(fl.done)
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inflight[key] == fl {
+		delete(c.inflight, key)
+	}
 	// Only keep the engine if the graph has not moved past the version the
 	// miss was observed at AND the build finished at — otherwise the engine
 	// may reflect a stale revision and must not enter the cache.
-	if c.g.Version() == builtAt && c.version == builtAt {
-		if len(c.entries) >= engineCacheCap {
-			c.entries = make(map[string]*Engine)
-		}
-		c.entries[key] = e
+	if c.g.Version() != builtAt || c.version != builtAt {
+		return e
 	}
-	c.mu.Unlock()
+	// A concurrent miss on the same key may have inserted first; keep the
+	// resident engine so every caller shares one canonical instance.
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).engine
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, engine: e})
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
 	return e
 }
 
@@ -120,10 +222,25 @@ func (c *EngineCache) Consistent(query *regex.Expr, positives, negatives []graph
 	return c.Get(query).ConsistentWith(positives, negatives)
 }
 
-// Stats returns the hit/miss counters and current size, for logging and
-// benchmark plumbing.
-func (c *EngineCache) Stats() (hits, misses uint64, size int) {
+// CacheStats is a point-in-time snapshot of an EngineCache's counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats returns the hit/miss/eviction counters and current size, for
+// logging and benchmark plumbing.
+func (c *EngineCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.entries)
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Size:      len(c.entries),
+		Capacity:  c.cap,
+	}
 }

@@ -18,9 +18,9 @@ func TestEngineCacheReusesAndInvalidates(t *testing.T) {
 	if e1 != e2 {
 		t.Fatal("equal canonical queries must share one engine")
 	}
-	hits, misses, size := c.Stats()
-	if hits != 1 || misses != 1 || size != 1 {
-		t.Fatalf("stats = %d hits, %d misses, %d entries; want 1, 1, 1", hits, misses, size)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats = %d hits, %d misses, %d entries; want 1, 1, 1", st.Hits, st.Misses, st.Size)
 	}
 	// Structural mutation must flush the cache and re-evaluate.
 	g.MustAddEdge("N5", "cinema", "C1")
@@ -56,8 +56,102 @@ func TestEngineCacheConcurrentGets(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if _, _, size := c.Stats(); size != len(queries) {
+	if size := c.Stats().Size; size != len(queries) {
 		t.Fatalf("cache holds %d entries, want %d", size, len(queries))
+	}
+}
+
+func TestEngineCacheLRUEviction(t *testing.T) {
+	g := figure1(t)
+	c := NewCacheWith(g, CacheOptions{Capacity: 2})
+	qa := regex.MustParse("bus")
+	qb := regex.MustParse("tram")
+	qc := regex.MustParse("restaurant")
+	ea := c.Get(qa)
+	c.Get(qb)
+	// Touch qa so qb becomes the least recently used entry.
+	if c.Get(qa) != ea {
+		t.Fatal("hit must return the resident engine")
+	}
+	c.Get(qc) // evicts qb
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v; want 1 eviction, size 2", st)
+	}
+	if c.Get(qa) != ea {
+		t.Fatal("recently used entry must survive the eviction")
+	}
+	eb := c.Get(qb) // miss: rebuilds
+	if st := c.Stats(); st.Evictions != 2 {
+		t.Fatalf("refetching the evicted query must evict again (LRU), stats = %+v", st)
+	}
+	if eb == nil || len(eb.Selected()) == 0 {
+		t.Fatal("rebuilt engine must be usable")
+	}
+}
+
+func TestEngineCacheConcurrentEvictions(t *testing.T) {
+	g := figure1(t)
+	c := NewCacheWith(g, CacheOptions{Capacity: 2})
+	queries := []string{"bus", "tram", "restaurant", "cinema", "bus.restaurant", "(tram+bus)*.cinema"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				q := regex.MustParse(queries[(w+i)%len(queries)])
+				e := c.Get(q)
+				if e == nil {
+					t.Error("cache returned nil engine")
+					return
+				}
+				if got, want := e.Selected(), Evaluate(g, q); !reflect.DeepEqual(got, want) {
+					t.Errorf("engine for %s returned %v, want %v", q, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Size > 2 {
+		t.Fatalf("cache exceeded its capacity: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under churn, stats = %+v", st)
+	}
+}
+
+// TestEngineCacheSingleflight pins the in-flight coalescing: concurrent
+// cold misses on one key must build the engine exactly once and all share
+// the same instance.
+func TestEngineCacheSingleflight(t *testing.T) {
+	g := figure1(t)
+	c := NewCache(g)
+	q := regex.MustParse("(tram+bus)*.cinema")
+	const n = 16
+	engines := make([]*Engine, n)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			engines[i] = c.Get(q)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if engines[i] != engines[0] {
+			t.Fatal("concurrent gets must share one engine instance")
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("stats = %+v; want exactly 1 miss and %d hits", st, n-1)
 	}
 }
 

@@ -29,9 +29,8 @@ func (e *Engine) PairsFrom(from graph.NodeID) []graph.NodeID {
 		return nil
 	}
 	S := e.numStates
-	total := e.ix.NumNodes() * S
-	seen := make([]uint64, (total+63)/64)
-	answers := make([]bool, e.ix.NumNodes())
+	es := e.getEval()
+	seen, answers := es.seen, es.answers
 	count := 0
 	startCfg := e.cfg(ni, e.start)
 	seen[startCfg>>6] |= 1 << (uint(startCfg) & 63)
@@ -39,8 +38,7 @@ func (e *Engine) PairsFrom(from graph.NodeID) []graph.NodeID {
 		answers[ni] = true
 		count++
 	}
-	queue := make([]int32, 0, 64)
-	queue = append(queue, int32(startCfg))
+	queue := append(es.queue[:0], int32(startCfg))
 	numLabels := e.ix.NumLabels()
 	for head := 0; head < len(queue); head++ {
 		c := int(queue[head])
@@ -68,11 +66,21 @@ func (e *Engine) PairsFrom(from graph.NodeID) []graph.NodeID {
 		}
 	}
 	out := make([]graph.NodeID, 0, count)
-	for i, yes := range answers {
-		if yes {
+	n := e.ix.NumNodes()
+	for i := 0; i < n; i++ {
+		if answers[i] {
 			out = append(out, e.ix.NodeAt(int32(i)))
 		}
 	}
+	// Restore the all-zero/all-false invariants before pooling: every seen
+	// configuration sits in the queue, and every answer node is the node
+	// component of some seen configuration.
+	for _, c := range queue {
+		seen[c>>6] &^= 1 << (uint(c) & 63)
+		answers[int(c)/S] = false
+	}
+	es.queue = queue[:0]
+	e.evalPool.Put(es)
 	return out
 }
 

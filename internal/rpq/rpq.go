@@ -49,6 +49,9 @@ type Engine struct {
 	// scratch pools per-call BFS state (parent pointers, queue) so that
 	// repeated Witness calls do not reallocate product-sized arrays.
 	scratch sync.Pool
+	// evalPool pools the bitset/queue scratch of SelectsWithin and
+	// PairsFrom the same way.
+	evalPool sync.Pool
 }
 
 // witnessScratch is the reusable BFS state of one Witness call. parent is
@@ -58,6 +61,32 @@ type witnessScratch struct {
 	parent []int32
 	lab    []int32
 	queue  []int32
+}
+
+// evalScratch is the reusable forward-BFS state of one SelectsWithin or
+// PairsFrom call. seen is kept all-zero and answers all-false between
+// uses; the owner clears the entries it touched before returning the
+// scratch to the pool.
+type evalScratch struct {
+	seen    []uint64
+	queue   []int32
+	next    []int32
+	touched []int32
+	answers []bool
+}
+
+// getEval returns a pooled scratch sized for the engine's product.
+func (e *Engine) getEval() *evalScratch {
+	n := e.ix.NumNodes()
+	words := (n*e.numStates + 63) / 64
+	es, _ := e.evalPool.Get().(*evalScratch)
+	if es == nil || len(es.seen) < words || len(es.answers) < n {
+		es = &evalScratch{
+			seen:    make([]uint64, words),
+			answers: make([]bool, n),
+		}
+	}
+	return es
 }
 
 func (e *Engine) getScratch(total int) *witnessScratch {
@@ -82,9 +111,18 @@ func (e *Engine) reach(c int) bool {
 }
 
 // New compiles the query against the graph's alphabet and precomputes the
-// selected node set. The DFA compilation is memoised per canonical query
-// string, so repeated calls with an equal query only pay the product sweep.
+// selected node set with a sequential product sweep. The DFA compilation is
+// memoised per canonical query string, so repeated calls with an equal
+// query only pay the product sweep. See NewWith for the sharded sweep.
 func New(g *graph.Graph, query *regex.Expr) *Engine {
+	e := newEngine(g, query)
+	e.computeReachability()
+	return e
+}
+
+// newEngine interns the graph, compiles the DFA and wires the label
+// translation tables, leaving the reachability sweep to the caller.
+func newEngine(g *graph.Graph, query *regex.Expr) *Engine {
 	ix := g.Indexed()
 	alphabet := make([]string, ix.NumLabels())
 	for l := range alphabet {
@@ -111,7 +149,6 @@ func New(g *graph.Graph, query *regex.Expr) *Engine {
 		}
 		e.dfaLabel[gl] = li
 	}
-	e.computeReachability()
 	return e
 }
 
@@ -169,8 +206,14 @@ func (e *Engine) computeReachability() {
 			}
 		}
 	}
-	// Cache the sorted answer set: node indices are interned in sorted
-	// NodeID order, so one ascending sweep yields sorted IDs.
+	e.collectSelected()
+}
+
+// collectSelected caches the sorted answer set: node indices are interned
+// in sorted NodeID order, so one ascending sweep yields sorted IDs.
+func (e *Engine) collectSelected() {
+	n := e.ix.NumNodes()
+	S := e.numStates
 	for i := 0; i < n; i++ {
 		if e.reach(i*S + int(e.start)) {
 			e.selectedIDs = append(e.selectedIDs, e.ix.NodeAt(int32(i)))
@@ -321,13 +364,16 @@ func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
 		return true
 	}
 	S := e.numStates
-	total := e.ix.NumNodes() * S
-	seen := make([]uint64, (total+63)/64)
+	es := e.getEval()
+	seen := es.seen
 	startCfg := e.cfg(ni, e.start)
 	seen[startCfg>>6] |= 1 << (uint(startCfg) & 63)
-	frontier := []int32{int32(startCfg)}
-	var next []int32
+	touched := append(es.touched[:0], int32(startCfg))
+	frontier := append(es.queue[:0], int32(startCfg))
+	next := es.next[:0]
 	numLabels := e.ix.NumLabels()
+	found := false
+search:
 	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
 		next = next[:0]
 		for _, cc := range frontier {
@@ -341,12 +387,14 @@ func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
 				}
 				ns := e.dfa.NextByIndex(s, e.dfaLabel[gl])
 				if e.accepting[ns] {
-					return true
+					found = true
+					break search
 				}
 				for _, v := range outs {
 					nc := e.cfg(v, ns)
 					if seen[nc>>6]&(1<<(uint(nc)&63)) == 0 {
 						seen[nc>>6] |= 1 << (uint(nc) & 63)
+						touched = append(touched, int32(nc))
 						next = append(next, int32(nc))
 					}
 				}
@@ -354,7 +402,14 @@ func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
 		}
 		frontier, next = next, frontier
 	}
-	return false
+	// Restore the all-zero invariant before pooling: every set bit was
+	// recorded in touched.
+	for _, c := range touched {
+		seen[c>>6] &^= 1 << (uint(c) & 63)
+	}
+	es.queue, es.next, es.touched = frontier[:0], next[:0], touched[:0]
+	e.evalPool.Put(es)
+	return found
 }
 
 // Consistent reports whether the query selects every node of positives and

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Server is the JSON/HTTP front-end of the service.
+//
+//	PUT    /v1/graphs/{name}            load (or replace) a graph
+//	GET    /v1/graphs                   list graphs with stats
+//	GET    /v1/graphs/{name}            one graph's stats
+//	DELETE /v1/graphs/{name}            unregister a graph
+//	POST   /v1/graphs/{name}/evaluate   evaluate a query (sharded, cached)
+//	POST   /v1/sessions                 create a learning session
+//	GET    /v1/sessions                 list sessions
+//	GET    /v1/sessions/{id}            session state + pending question
+//	POST   /v1/sessions/{id}/label      answer the pending question
+//	GET    /v1/sessions/{id}/hypothesis current hypothesis + its answer set
+//	DELETE /v1/sessions/{id}            cancel and drop a session
+//	GET    /v1/stats                    server-wide statistics
+//	GET    /healthz                     liveness probe
+type Server struct {
+	opts     Options
+	registry *Registry
+	manager  *Manager
+	start    time.Time
+}
+
+// NewServer assembles a service instance.
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:     opts,
+		registry: NewRegistry(opts),
+		manager:  NewManager(opts),
+		start:    time.Now(),
+	}
+}
+
+// Registry exposes the graph registry (for preloading in cmd/gpsd and
+// tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Manager exposes the session manager.
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.registry.List()})
+	})
+	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoadGraph)
+	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.manager.List()})
+	})
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("POST /v1/sessions/{id}/label", s.handleAnswer)
+	mux.HandleFunc("GET /v1/sessions/{id}/hypothesis", s.handleHypothesis)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	var spec LoadSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	g, err := BuildGraph(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	h, err := s.registry.Register(r.PathValue("name"), g)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, h.info())
+}
+
+func (s *Server) graphOr404(w http.ResponseWriter, r *http.Request) (*GraphHandle, bool) {
+	h, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q is not registered", r.PathValue("name")))
+	}
+	return h, ok
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.graphOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, h.info())
+	}
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.Remove(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q is not registered", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// evaluateRequest is the body of POST /v1/graphs/{name}/evaluate.
+type evaluateRequest struct {
+	// Query is the path query in the paper's syntax.
+	Query string `json:"query"`
+	// Witnesses requests one shortest witness path per selected node.
+	Witnesses bool `json:"witnesses,omitempty"`
+	// Limit truncates the returned node (and witness) lists; 0 means all.
+	Limit int `json:"limit,omitempty"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.graphOr404(w, r)
+	if !ok {
+		return
+	}
+	var req evaluateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	started := time.Now()
+	engine, err := h.Engine(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	nodes := engine.Selected()
+	total := len(nodes)
+	if req.Limit > 0 && len(nodes) > req.Limit {
+		nodes = nodes[:req.Limit]
+	}
+	resp := map[string]any{
+		"query":       engine.Query().String(),
+		"nodes":       nodes,
+		"count":       total,
+		"duration_us": time.Since(started).Microseconds(),
+	}
+	if req.Witnesses {
+		witnesses := make(map[graph.NodeID][]graph.Edge, len(nodes))
+		for _, n := range nodes {
+			if path, ok := engine.Witness(n); ok {
+				witnesses[n] = path
+			}
+		}
+		resp["witnesses"] = witnesses
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if !readJSON(w, r, &cfg) {
+		return
+	}
+	h, ok := s.registry.Get(cfg.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q is not registered", cfg.Graph))
+		return
+	}
+	sess, err := s.manager.Create(h, cfg)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrLimit) {
+			code = http.StatusTooManyRequests
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.View())
+}
+
+func (s *Server) sessionOr404(w http.ResponseWriter, r *http.Request) (*HostedSession, bool) {
+	sess, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("session %q does not exist", r.PathValue("id")))
+	}
+	return sess, ok
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.sessionOr404(w, r); ok {
+		writeJSON(w, http.StatusOK, sess.View())
+	}
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionOr404(w, r)
+	if !ok {
+		return
+	}
+	var a Answer
+	if !readJSON(w, r, &a) {
+		return
+	}
+	if err := sess.Answer(a); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrConflict) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.View())
+}
+
+func (s *Server) handleHypothesis(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionOr404(w, r)
+	if !ok {
+		return
+	}
+	learned := sess.Learned()
+	if learned == "" {
+		writeJSON(w, http.StatusOK, map[string]any{"learned": nil})
+		return
+	}
+	engine, err := sess.handle.Engine(learned)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := map[string]any{
+		"learned": learned,
+		"nodes":   engine.Selected(),
+		"count":   len(engine.Selected()),
+	}
+	if witnessNode := r.URL.Query().Get("witness"); witnessNode != "" {
+		path, ok := engine.Witness(graph.NodeID(witnessNode))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("node %q is not selected by the hypothesis", witnessNode))
+			return
+		}
+		resp["witness"] = path
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.manager.Remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("session %q does not exist", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "canceled"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"eval_workers":   s.opts.EvalWorkers,
+		"cache_capacity": s.opts.CacheCapacity,
+		"max_sessions":   s.opts.MaxSessions,
+		"graphs":         s.registry.List(),
+		"sessions":       s.manager.Counts(),
+	})
+}

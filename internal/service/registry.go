@@ -1,0 +1,221 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/rpq"
+)
+
+// GraphHandle is a snapshot-consistent view of one registered graph. The
+// service treats registered graphs as immutable: the handle pins the
+// structural version observed at registration, and every evaluation path
+// checks it, so a graph mutated behind the registry's back is detected
+// instead of silently serving mixed-revision answers. Replacing a name
+// re-registers a fresh handle; sessions started on the old handle keep
+// their old snapshot and cache.
+type GraphHandle struct {
+	name    string
+	g       *graph.Graph
+	version uint64
+	cache   *rpq.EngineCache
+}
+
+// Name returns the registry name of the graph.
+func (h *GraphHandle) Name() string { return h.name }
+
+// Graph returns the underlying graph. Callers must not mutate it.
+func (h *GraphHandle) Graph() *graph.Graph { return h.g }
+
+// Version returns the structural version the handle was registered at.
+func (h *GraphHandle) Version() uint64 { return h.version }
+
+// Cache returns the graph's shared engine cache.
+func (h *GraphHandle) Cache() *rpq.EngineCache { return h.cache }
+
+// Check verifies the snapshot invariant: the graph has not been mutated
+// since registration.
+func (h *GraphHandle) Check() error {
+	if v := h.g.Version(); v != h.version {
+		return fmt.Errorf("service: graph %q mutated since registration (version %d, registered at %d)", h.name, v, h.version)
+	}
+	return nil
+}
+
+// Engine returns the shared evaluated engine for the query after checking
+// the snapshot invariant.
+func (h *GraphHandle) Engine(queryStr string) (*rpq.Engine, error) {
+	if err := h.Check(); err != nil {
+		return nil, err
+	}
+	q, err := parseQuery(queryStr)
+	if err != nil {
+		return nil, err
+	}
+	return h.cache.Get(q), nil
+}
+
+// GraphInfo is the JSON-facing summary of one registered graph.
+type GraphInfo struct {
+	Name    string         `json:"name"`
+	Nodes   int            `json:"nodes"`
+	Edges   int            `json:"edges"`
+	Labels  int            `json:"labels"`
+	Version uint64         `json:"version"`
+	Cache   rpq.CacheStats `json:"cache"`
+}
+
+func (h *GraphHandle) info() GraphInfo {
+	return GraphInfo{
+		Name:    h.name,
+		Nodes:   h.g.NumNodes(),
+		Edges:   h.g.NumEdges(),
+		Labels:  len(h.g.Alphabet()),
+		Version: h.version,
+		Cache:   h.cache.Stats(),
+	}
+}
+
+// Registry is the concurrent graph store of the service.
+type Registry struct {
+	opts Options
+
+	mu     sync.RWMutex
+	graphs map[string]*GraphHandle
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(opts Options) *Registry {
+	return &Registry{opts: opts.withDefaults(), graphs: make(map[string]*GraphHandle)}
+}
+
+// Register installs (or replaces) a graph under the given name and returns
+// its snapshot handle. The graph must not be mutated after registration.
+func (r *Registry) Register(name string, g *graph.Graph) (*GraphHandle, error) {
+	if name == "" {
+		return nil, fmt.Errorf("service: empty graph name")
+	}
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("service: graph %q is empty", name)
+	}
+	h := &GraphHandle{
+		name:    name,
+		g:       g,
+		version: g.Version(),
+		cache: rpq.NewCacheWith(g, rpq.CacheOptions{
+			Capacity: r.opts.CacheCapacity,
+			Workers:  r.opts.EvalWorkers,
+		}),
+	}
+	r.mu.Lock()
+	r.graphs[name] = h
+	r.mu.Unlock()
+	return h, nil
+}
+
+// Get returns the handle registered under name.
+func (r *Registry) Get(name string) (*GraphHandle, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.graphs[name]
+	return h, ok
+}
+
+// Remove drops the name from the registry. Sessions holding the handle
+// keep working on their snapshot.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.graphs[name]
+	delete(r.graphs, name)
+	return ok
+}
+
+// List returns the registered graphs sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.RLock()
+	handles := make([]*GraphHandle, 0, len(r.graphs))
+	for _, h := range r.graphs {
+		handles = append(handles, h)
+	}
+	r.mu.RUnlock()
+	sort.Slice(handles, func(i, j int) bool { return handles[i].name < handles[j].name })
+	out := make([]GraphInfo, len(handles))
+	for i, h := range handles {
+		out[i] = h.info()
+	}
+	return out
+}
+
+// LoadSpec describes a graph to load: either inline data in one of the
+// text formats, or a named synthetic dataset.
+type LoadSpec struct {
+	// Format is "text", "csv", "tsv" or "triples" for inline Data, or
+	// "dataset" (also implied when Dataset.Kind is set).
+	Format string `json:"format"`
+	// Data is the inline serialised graph for the text formats.
+	Data string `json:"data,omitempty"`
+	// Dataset selects a built-in generator.
+	Dataset DatasetSpec `json:"dataset,omitzero"`
+}
+
+// DatasetSpec parameterises the built-in graph generators.
+type DatasetSpec struct {
+	// Kind is "figure1", "transport", "random" or "scale-free".
+	Kind string `json:"kind"`
+	// Rows and Cols shape the transport grid.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Nodes sizes the random and scale-free generators.
+	Nodes int `json:"nodes,omitempty"`
+	// Seed drives all randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// FacilityRate is the transport facility probability.
+	FacilityRate float64 `json:"facility_rate,omitempty"`
+}
+
+// BuildGraph materialises a LoadSpec.
+func BuildGraph(spec LoadSpec) (*graph.Graph, error) {
+	format := spec.Format
+	if format == "" && spec.Dataset.Kind != "" {
+		format = "dataset"
+	}
+	switch format {
+	case "text":
+		return graph.ParseText(spec.Data)
+	case "csv":
+		return graph.ReadCSV(strings.NewReader(spec.Data), graph.CSVOptions{})
+	case "tsv":
+		return graph.ReadCSV(strings.NewReader(spec.Data), graph.CSVOptions{Comma: '\t'})
+	case "triples":
+		return graph.ReadTriples(strings.NewReader(spec.Data))
+	case "dataset":
+		return buildDataset(spec.Dataset)
+	default:
+		return nil, fmt.Errorf("service: unknown graph format %q (want text, csv, tsv, triples or dataset)", spec.Format)
+	}
+}
+
+func buildDataset(spec DatasetSpec) (*graph.Graph, error) {
+	switch spec.Kind {
+	case "figure1":
+		return dataset.Figure1(), nil
+	case "transport":
+		return dataset.Transport(dataset.TransportOptions{
+			Rows:         spec.Rows,
+			Cols:         spec.Cols,
+			Seed:         spec.Seed,
+			FacilityRate: spec.FacilityRate,
+		}), nil
+	case "random":
+		return dataset.Random(dataset.RandomOptions{Nodes: spec.Nodes, Seed: spec.Seed}), nil
+	case "scale-free":
+		return dataset.ScaleFree(dataset.ScaleFreeOptions{Nodes: spec.Nodes, Seed: spec.Seed}), nil
+	default:
+		return nil, fmt.Errorf("service: unknown dataset kind %q (want figure1, transport, random or scale-free)", spec.Kind)
+	}
+}

@@ -1,0 +1,48 @@
+// Package service hosts the interactive query-learning system as a
+// concurrent, multi-tenant server. It ties three pieces together:
+//
+//   - a graph Registry handing out snapshot-consistent handles: each
+//     registered graph is frozen at its structural version and owns one
+//     shared LRU engine cache, so every session and ad-hoc evaluation on
+//     that graph reuses each other's compiled queries;
+//   - a session Manager running many interactive.Session learning loops
+//     concurrently — one goroutine-safe state machine per session, driven
+//     either by a server-side simulated oracle or by a remote client that
+//     answers label/path/satisfied questions over the API;
+//   - an HTTP front-end (see http.go and cmd/gpsd) exposing graph loading,
+//     session management, labelling, hypothesis retrieval, sharded query
+//     evaluation and server statistics as a JSON API.
+//
+// Query evaluation everywhere in the service goes through rpq.NewWith, so
+// the product-reachability sweep of large graphs is sharded across
+// Options.EvalWorkers goroutines.
+package service
+
+import "repro/internal/rpq"
+
+// Options configures a service instance.
+type Options struct {
+	// EvalWorkers is the worker-pool size for sharded product-reachability
+	// evaluation. 0 means rpq.DefaultWorkers() (one per CPU); 1 forces
+	// sequential evaluation.
+	EvalWorkers int
+	// CacheCapacity is the per-graph engine-cache capacity (LRU entries).
+	// 0 means rpq.DefaultCacheCapacity.
+	CacheCapacity int
+	// MaxSessions bounds the number of live (not yet finished) sessions.
+	// 0 means 256.
+	MaxSessions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.EvalWorkers == 0 {
+		o.EvalWorkers = rpq.DefaultWorkers()
+	}
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = rpq.DefaultCacheCapacity
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 256
+	}
+	return o
+}

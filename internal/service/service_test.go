@@ -1,0 +1,324 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/rpq"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(Options{EvalWorkers: 2, CacheCapacity: 64})
+	return srv, newHTTPServer(t, srv)
+}
+
+func newHTTPServer(t *testing.T, srv *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// do issues a JSON request and decodes the JSON response into out (unless
+// out is nil). It returns the status code.
+func do(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal request: %v", err)
+		}
+		buf = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, buf)
+	if err != nil {
+		t.Fatalf("build request: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, url, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func loadFigure1(t *testing.T, ts *httptest.Server, name string) {
+	t.Helper()
+	code := do(t, http.MethodPut, ts.URL+"/v1/graphs/"+name,
+		LoadSpec{Dataset: DatasetSpec{Kind: "figure1"}}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("load graph returned %d", code)
+	}
+}
+
+func TestLoadGraphFormats(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var info GraphInfo
+	code := do(t, http.MethodPut, ts.URL+"/v1/graphs/txt", LoadSpec{
+		Format: "text",
+		Data:   "edge a tram b\nedge b cinema c\n",
+	}, &info)
+	if code != http.StatusCreated || info.Nodes != 3 || info.Edges != 2 {
+		t.Fatalf("text load: code %d, info %+v", code, info)
+	}
+
+	code = do(t, http.MethodPut, ts.URL+"/v1/graphs/csv", LoadSpec{
+		Format: "csv",
+		Data:   "a,tram,b\nb,cinema,c\n",
+	}, &info)
+	if code != http.StatusCreated || info.Edges != 2 {
+		t.Fatalf("csv load: code %d, info %+v", code, info)
+	}
+
+	code = do(t, http.MethodPut, ts.URL+"/v1/graphs/bad", LoadSpec{Format: "nope"}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown format must 400, got %d", code)
+	}
+
+	var list struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/graphs", nil, &list)
+	if len(list.Graphs) != 2 {
+		t.Fatalf("expected 2 graphs, got %+v", list.Graphs)
+	}
+
+	if code := do(t, http.MethodDelete, ts.URL+"/v1/graphs/csv", nil, nil); code != http.StatusOK {
+		t.Fatalf("delete graph returned %d", code)
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/v1/graphs/csv", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted graph must 404, got %d", code)
+	}
+}
+
+func TestEvaluateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadFigure1(t, ts, "demo")
+
+	var resp struct {
+		Query     string                        `json:"query"`
+		Nodes     []graph.NodeID                `json:"nodes"`
+		Count     int                           `json:"count"`
+		Witnesses map[graph.NodeID][]graph.Edge `json:"witnesses"`
+	}
+	code := do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate",
+		evaluateRequest{Query: "(tram+bus)*.cinema", Witnesses: true}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("evaluate returned %d", code)
+	}
+	want := rpq.Evaluate(dataset.Figure1(), regex.MustParse("(tram+bus)*.cinema"))
+	if fmt.Sprint(resp.Nodes) != fmt.Sprint(want) {
+		t.Fatalf("evaluate nodes = %v, want %v", resp.Nodes, want)
+	}
+	if resp.Count != len(want) || len(resp.Witnesses) != len(want) {
+		t.Fatalf("count %d, witnesses %d, want %d", resp.Count, len(resp.Witnesses), len(want))
+	}
+
+	// Limit truncates the list but keeps the total count.
+	code = do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate",
+		evaluateRequest{Query: "(tram+bus)*.cinema", Limit: 2}, &resp)
+	if code != http.StatusOK || len(resp.Nodes) != 2 || resp.Count != len(want) {
+		t.Fatalf("limited evaluate: code %d, nodes %v, count %d", code, resp.Nodes, resp.Count)
+	}
+
+	if code := do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate",
+		evaluateRequest{Query: "(("}, nil); code != http.StatusBadRequest {
+		t.Fatalf("malformed query must 400, got %d", code)
+	}
+}
+
+func TestSnapshotGuardRejectsMutatedGraph(t *testing.T) {
+	srv, ts := newTestServer(t)
+	loadFigure1(t, ts, "demo")
+	h, _ := srv.Registry().Get("demo")
+	// Mutating a registered graph violates the service contract; the
+	// snapshot guard must surface it instead of serving mixed revisions.
+	h.Graph().MustAddEdge("N9", "bus", "N1")
+	if code := do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate",
+		evaluateRequest{Query: "bus"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("evaluate on a mutated snapshot must fail, got %d", code)
+	}
+}
+
+// waitSession polls the session until it reaches a terminal or awaiting
+// status and returns the view.
+func waitSession(t *testing.T, ts *httptest.Server, id string, until func(SessionView) bool) SessionView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var v SessionView
+		if code := do(t, http.MethodGet, ts.URL+"/v1/sessions/"+id, nil, &v); code != http.StatusOK {
+			t.Fatalf("get session %s returned %d", id, code)
+		}
+		if until(v) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("session %s did not reach the expected state in time", id)
+	return SessionView{}
+}
+
+func TestSimulatedSessionConvergesOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadFigure1(t, ts, "demo")
+
+	var v SessionView
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions", SessionConfig{
+		Graph: "demo",
+		Mode:  "simulated",
+		Goal:  "(tram+bus)*.cinema",
+	}, &v)
+	if code != http.StatusCreated {
+		t.Fatalf("create session returned %d", code)
+	}
+	v = waitSession(t, ts, v.ID, func(v SessionView) bool { return v.Status == StatusDone })
+	if v.Halt != "user-satisfied" {
+		t.Fatalf("simulated session halted with %q, error %q", v.Halt, v.Error)
+	}
+	var hyp struct {
+		Learned string         `json:"learned"`
+		Nodes   []graph.NodeID `json:"nodes"`
+	}
+	do(t, http.MethodGet, ts.URL+"/v1/sessions/"+v.ID+"/hypothesis", nil, &hyp)
+	want := rpq.Evaluate(dataset.Figure1(), regex.MustParse("(tram+bus)*.cinema"))
+	if fmt.Sprint(hyp.Nodes) != fmt.Sprint(want) {
+		t.Fatalf("hypothesis answer set %v, want %v", hyp.Nodes, want)
+	}
+}
+
+// TestManualSessionDrivenOverHTTP drives the full manual state machine: a
+// client-side oracle answers every label/satisfied question through the
+// API until the session converges.
+func TestManualSessionDrivenOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadFigure1(t, ts, "demo")
+
+	g := dataset.Figure1()
+	goal := regex.MustParse("(tram+bus)*.cinema")
+	oracle := rpq.New(g, goal)
+
+	var v SessionView
+	code := do(t, http.MethodPost, ts.URL+"/v1/sessions", SessionConfig{
+		Graph: "demo",
+		Mode:  "manual",
+	}, &v)
+	if code != http.StatusCreated {
+		t.Fatalf("create session returned %d", code)
+	}
+	id := v.ID
+	for i := 0; i < 200; i++ {
+		v = waitSession(t, ts, id, func(v SessionView) bool {
+			return v.Pending != nil || v.Status == StatusDone || v.Status == StatusFailed
+		})
+		if v.Status == StatusDone {
+			break
+		}
+		if v.Status == StatusFailed {
+			t.Fatalf("session failed: %s", v.Error)
+		}
+		var a Answer
+		switch v.Pending.Kind {
+		case "label":
+			a.Seq = v.Pending.Seq
+			if oracle.Selects(v.Pending.Node) {
+				a.Decision = "positive"
+			} else {
+				a.Decision = "negative"
+			}
+		case "path":
+			a.Seq = v.Pending.Seq
+			a.Accept = true
+		case "satisfied":
+			learned := regex.MustParse(v.Pending.Learned)
+			sat := rpq.New(g, learned).SameSelection(oracle)
+			a.Seq = v.Pending.Seq
+			a.Satisfied = &sat
+		default:
+			t.Fatalf("unexpected question kind %q", v.Pending.Kind)
+		}
+		if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/"+id+"/label", a, nil); code != http.StatusOK {
+			t.Fatalf("answer returned %d for %+v", code, a)
+		}
+	}
+	if v.Status != StatusDone || v.Halt != "user-satisfied" {
+		t.Fatalf("manual session ended %q/%q, want done/user-satisfied", v.Status, v.Halt)
+	}
+	if !rpq.New(g, regex.MustParse(v.Learned)).SameSelection(oracle) {
+		t.Fatalf("learned query %q does not match the goal's answer set", v.Learned)
+	}
+}
+
+func TestAnswerValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadFigure1(t, ts, "demo")
+
+	var v SessionView
+	do(t, http.MethodPost, ts.URL+"/v1/sessions", SessionConfig{Graph: "demo", Mode: "manual"}, &v)
+	v = waitSession(t, ts, v.ID, func(v SessionView) bool { return v.Pending != nil })
+	if v.Pending.Kind != "label" {
+		t.Fatalf("first question should be a label, got %q", v.Pending.Kind)
+	}
+	// Wrong kind of answer for the pending question: a malformed request,
+	// not a state conflict.
+	sat := true
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/"+v.ID+"/label",
+		Answer{Satisfied: &sat}, nil); code != http.StatusBadRequest {
+		t.Fatalf("mismatched answer must 400, got %d", code)
+	}
+	// Stale sequence number.
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions/"+v.ID+"/label",
+		Answer{Seq: v.Pending.Seq + 7, Decision: "negative"}, nil); code != http.StatusConflict {
+		t.Fatalf("stale answer must 409, got %d", code)
+	}
+	// Canceling a session parked on a question must unblock it.
+	if code := do(t, http.MethodDelete, ts.URL+"/v1/sessions/"+v.ID, nil, nil); code != http.StatusOK {
+		t.Fatalf("delete session returned %d", code)
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/v1/sessions/"+v.ID, nil, nil); code != http.StatusNotFound {
+		t.Fatalf("deleted session must 404, got %d", code)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	loadFigure1(t, ts, "demo")
+	do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate", evaluateRequest{Query: "bus"}, nil)
+	do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate", evaluateRequest{Query: "bus"}, nil)
+
+	var stats struct {
+		EvalWorkers int                   `json:"eval_workers"`
+		Graphs      []GraphInfo           `json:"graphs"`
+		Sessions    map[SessionStatus]int `json:"sessions"`
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats returned %d", code)
+	}
+	if stats.EvalWorkers != 2 || len(stats.Graphs) != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if c := stats.Graphs[0].Cache; c.Hits < 1 || c.Misses < 1 {
+		t.Fatalf("repeated evaluate must hit the shared cache, stats %+v", c)
+	}
+}

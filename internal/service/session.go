@@ -1,0 +1,523 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/interactive"
+	"repro/internal/learn"
+	"repro/internal/regex"
+	"repro/internal/user"
+)
+
+// SessionStatus is the externally visible state of a hosted session.
+type SessionStatus string
+
+// Session states. A manual session cycles running → awaiting-* → running
+// as the learning loop asks its questions; a simulated session stays
+// running until it converges.
+const (
+	StatusRunning           SessionStatus = "running"
+	StatusAwaitingLabel     SessionStatus = "awaiting-label"
+	StatusAwaitingPath      SessionStatus = "awaiting-path"
+	StatusAwaitingSatisfied SessionStatus = "awaiting-satisfied"
+	StatusDone              SessionStatus = "done"
+	StatusFailed            SessionStatus = "failed"
+)
+
+// SessionConfig is the client-supplied configuration of a new session.
+type SessionConfig struct {
+	// Graph names the registered graph to learn on.
+	Graph string `json:"graph"`
+	// Mode is "manual" (default: a remote client answers the questions) or
+	// "simulated" (a server-side oracle pursuing Goal answers them).
+	Mode string `json:"mode,omitempty"`
+	// Goal is the oracle's hidden goal query. Required for simulated mode;
+	// ignored for manual mode.
+	Goal string `json:"goal,omitempty"`
+	// Strategy is "informative" (default), "random", "hybrid" or
+	// "disagreement".
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives the random strategy.
+	Seed int64 `json:"seed,omitempty"`
+	// PathValidation enables the path-validation step after positive
+	// labels.
+	PathValidation bool `json:"path_validation,omitempty"`
+	// MaxInteractions bounds the label interactions (default 100).
+	MaxInteractions int `json:"max_interactions,omitempty"`
+	// MaxPathLength bounds witness search and informativeness counting.
+	MaxPathLength int `json:"max_path_length,omitempty"`
+	// InitialRadius is the first neighbourhood radius shown (default 2).
+	InitialRadius int `json:"initial_radius,omitempty"`
+}
+
+// Question is one pending request for client input in a manual session.
+type Question struct {
+	// Seq numbers questions within the session; answers carrying a Seq are
+	// rejected when it does not match, protecting clients against racing
+	// another controller of the same session.
+	Seq int `json:"seq"`
+	// Kind is "label", "path" or "satisfied".
+	Kind string `json:"kind"`
+	// Node is the node to label (label and path questions).
+	Node graph.NodeID `json:"node,omitempty"`
+	// Neighborhood is the text serialisation of the shown fragment.
+	Neighborhood string `json:"neighborhood,omitempty"`
+	// Frontier lists fragment nodes with hidden edges beyond the radius.
+	Frontier []graph.NodeID `json:"frontier,omitempty"`
+	// CanZoom reports whether a zoom answer is still allowed.
+	CanZoom bool `json:"can_zoom,omitempty"`
+	// Words are the candidate paths of interest (path questions).
+	Words [][]string `json:"words,omitempty"`
+	// Candidate is the word the system would pick (path questions).
+	Candidate []string `json:"candidate,omitempty"`
+	// Learned is the hypothesis under review (satisfied questions).
+	Learned string `json:"learned,omitempty"`
+}
+
+// Answer is the client's reply to the pending question.
+type Answer struct {
+	// Seq, when non-zero, must match the pending question's Seq.
+	Seq int `json:"seq,omitempty"`
+	// Decision answers a label question: "positive", "negative" or "zoom".
+	Decision string `json:"decision,omitempty"`
+	// Word answers a path question with an explicit word; Accept answers
+	// it with the system's candidate.
+	Word   []string `json:"word,omitempty"`
+	Accept bool     `json:"accept,omitempty"`
+	// Satisfied answers a satisfied question.
+	Satisfied *bool `json:"satisfied,omitempty"`
+}
+
+// SessionView is the JSON-facing snapshot of a hosted session.
+type SessionView struct {
+	ID       string        `json:"id"`
+	Graph    string        `json:"graph"`
+	Mode     string        `json:"mode"`
+	Strategy string        `json:"strategy"`
+	Status   SessionStatus `json:"status"`
+	Labels   int           `json:"labels"`
+	Learned  string        `json:"learned,omitempty"`
+	Halt     string        `json:"halt,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Pending  *Question     `json:"pending,omitempty"`
+}
+
+// HostedSession is one interactive learning loop running in its own
+// goroutine. All exported methods are safe for concurrent use.
+type HostedSession struct {
+	id     string
+	handle *GraphHandle
+	cfg    SessionConfig
+	cancel context.CancelFunc
+	// done is closed when the learning goroutine exits.
+	done chan struct{}
+
+	mu        sync.Mutex
+	status    SessionStatus
+	seq       int
+	pending   *Question
+	pendingCh chan Answer
+	labels    int
+	learned   string
+	halt      string
+	errMsg    string
+}
+
+// ID returns the session identifier.
+func (s *HostedSession) ID() string { return s.id }
+
+// Done returns a channel closed when the session's learning loop exits.
+func (s *HostedSession) Done() <-chan struct{} { return s.done }
+
+// View returns a consistent snapshot of the session state.
+func (s *HostedSession) View() SessionView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := SessionView{
+		ID:       s.id,
+		Graph:    s.handle.Name(),
+		Mode:     s.cfg.Mode,
+		Strategy: s.cfg.Strategy,
+		Status:   s.status,
+		Labels:   s.labels,
+		Learned:  s.learned,
+		Halt:     s.halt,
+		Error:    s.errMsg,
+	}
+	if s.pending != nil {
+		q := *s.pending
+		v.Pending = &q
+	}
+	return v
+}
+
+// Learned returns the current hypothesis query string ("" if none yet).
+func (s *HostedSession) Learned() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.learned
+}
+
+// Cancel stops the learning loop; the session halts with "canceled" after
+// the in-flight interaction finishes.
+func (s *HostedSession) Cancel() { s.cancel() }
+
+// ask publishes a question, parks the learning goroutine until a client
+// answers it (or the session is canceled) and returns the answer.
+func (s *HostedSession) ask(ctx context.Context, q *Question, st SessionStatus) (Answer, bool) {
+	ch := make(chan Answer, 1)
+	s.mu.Lock()
+	s.seq++
+	q.Seq = s.seq
+	s.pending = q
+	s.pendingCh = ch
+	s.status = st
+	s.mu.Unlock()
+	select {
+	case a := <-ch:
+		s.mu.Lock()
+		s.status = StatusRunning
+		s.mu.Unlock()
+		return a, true
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.pending = nil
+		s.pendingCh = nil
+		s.status = StatusRunning
+		s.mu.Unlock()
+		return Answer{}, false
+	}
+}
+
+// ErrConflict marks answer failures caused by session state (no pending
+// question, stale sequence number) rather than by a malformed answer; the
+// HTTP layer maps it to 409 and everything else to 400.
+var ErrConflict = errors.New("state conflict")
+
+// ErrLimit marks session creation rejected for capacity reasons; the HTTP
+// layer maps it to 429 so clients know the request was well-formed and
+// retryable.
+var ErrLimit = errors.New("session limit reached")
+
+// Answer delivers the client's reply to the pending question.
+func (s *HostedSession) Answer(a Answer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return fmt.Errorf("service: session %s has no pending question (status %s): %w", s.id, s.status, ErrConflict)
+	}
+	if a.Seq != 0 && a.Seq != s.pending.Seq {
+		return fmt.Errorf("service: answer for question %d but question %d is pending: %w", a.Seq, s.pending.Seq, ErrConflict)
+	}
+	switch s.pending.Kind {
+	case "label":
+		switch a.Decision {
+		case "positive", "negative":
+		case "zoom":
+			if !s.pending.CanZoom {
+				return fmt.Errorf("service: the radius limit is reached, answer positive or negative")
+			}
+		default:
+			return fmt.Errorf("service: label answer needs decision positive, negative or zoom (got %q)", a.Decision)
+		}
+	case "path":
+		if len(a.Word) == 0 && !a.Accept {
+			return fmt.Errorf("service: path answer needs a word or accept=true")
+		}
+	case "satisfied":
+		if a.Satisfied == nil {
+			return fmt.Errorf("service: satisfied answer needs satisfied=true|false")
+		}
+	}
+	ch := s.pendingCh
+	s.pending = nil
+	s.pendingCh = nil
+	ch <- a
+	return nil
+}
+
+// bridgeUser adapts the user.User callbacks of the interactive loop to the
+// question/answer state machine of a manual session.
+type bridgeUser struct {
+	s   *HostedSession
+	ctx context.Context
+}
+
+func (b *bridgeUser) LabelNode(node graph.NodeID, n *graph.Neighborhood, canZoom bool) user.Decision {
+	q := &Question{Kind: "label", Node: node, CanZoom: canZoom}
+	if n != nil {
+		q.Neighborhood = n.Fragment.Text()
+		q.Frontier = n.Frontier
+	}
+	a, ok := b.s.ask(b.ctx, q, StatusAwaitingLabel)
+	if !ok {
+		// Canceled: answer negative so the loop reaches its context check.
+		return user.Negative
+	}
+	switch a.Decision {
+	case "positive":
+		return user.Positive
+	case "zoom":
+		return user.Zoom
+	default:
+		return user.Negative
+	}
+}
+
+func (b *bridgeUser) ValidatePath(node graph.NodeID, words [][]string, candidate []string) []string {
+	a, ok := b.s.ask(b.ctx, &Question{Kind: "path", Node: node, Words: words, Candidate: candidate}, StatusAwaitingPath)
+	if !ok || a.Accept {
+		return nil // accept the system's candidate
+	}
+	return a.Word
+}
+
+func (b *bridgeUser) Satisfied(learned *regex.Expr) bool {
+	if learned == nil {
+		return false
+	}
+	a, ok := b.s.ask(b.ctx, &Question{Kind: "satisfied", Learned: learned.String()}, StatusAwaitingSatisfied)
+	if !ok {
+		return false
+	}
+	return a.Satisfied != nil && *a.Satisfied
+}
+
+// observedUser wraps the session's inner user (bridge or simulated oracle)
+// to keep the hosted session's label count and current hypothesis fresh.
+type observedUser struct {
+	inner user.User
+	s     *HostedSession
+}
+
+func (o *observedUser) LabelNode(node graph.NodeID, n *graph.Neighborhood, canZoom bool) user.Decision {
+	d := o.inner.LabelNode(node, n, canZoom)
+	if d == user.Positive || d == user.Negative {
+		o.s.mu.Lock()
+		o.s.labels++
+		o.s.mu.Unlock()
+	}
+	return d
+}
+
+func (o *observedUser) ValidatePath(node graph.NodeID, words [][]string, candidate []string) []string {
+	return o.inner.ValidatePath(node, words, candidate)
+}
+
+func (o *observedUser) Satisfied(learned *regex.Expr) bool {
+	if learned != nil {
+		o.s.mu.Lock()
+		o.s.learned = learned.String()
+		o.s.mu.Unlock()
+	}
+	return o.inner.Satisfied(learned)
+}
+
+// Manager owns the hosted sessions. Live sessions are bounded by
+// Options.MaxSessions; finished sessions are retained for inspection up to
+// the same bound and then evicted oldest-first, so a long-running daemon
+// neither leaks session state nor pins replaced graphs (and their engine
+// caches) forever.
+type Manager struct {
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*HostedSession
+	nextID   int
+	// live counts sessions whose learning goroutine has not exited yet;
+	// it makes the MaxSessions admission check O(1).
+	live int
+	// finishedIDs is the FIFO eviction order of retained finished
+	// sessions.
+	finishedIDs []string
+}
+
+// NewManager returns an empty session manager.
+func NewManager(opts Options) *Manager {
+	return &Manager{opts: opts.withDefaults(), sessions: make(map[string]*HostedSession)}
+}
+
+// noteFinished is called exactly once by each session's learning goroutine
+// when it exits: it frees the live slot and enrolls the session in the
+// bounded finished-retention queue.
+func (m *Manager) noteFinished(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.live--
+	if _, ok := m.sessions[id]; !ok {
+		return // already removed explicitly
+	}
+	m.finishedIDs = append(m.finishedIDs, id)
+	for len(m.finishedIDs) > m.opts.MaxSessions {
+		evict := m.finishedIDs[0]
+		m.finishedIDs = m.finishedIDs[1:]
+		delete(m.sessions, evict)
+	}
+}
+
+func strategyFor(cfg SessionConfig) (interactive.Strategy, error) {
+	switch cfg.Strategy {
+	case "", "informative":
+		return &interactive.InformativeStrategy{MaxPathLength: cfg.MaxPathLength}, nil
+	case "random":
+		return interactive.NewRandomStrategy(cfg.Seed), nil
+	case "hybrid":
+		return &interactive.HybridStrategy{MaxPathLength: cfg.MaxPathLength}, nil
+	case "disagreement":
+		return &interactive.DisagreementStrategy{MaxPathLength: cfg.MaxPathLength}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown strategy %q (want informative, random, hybrid or disagreement)", cfg.Strategy)
+	}
+}
+
+func parseQuery(s string) (*regex.Expr, error) {
+	if s == "" {
+		return nil, fmt.Errorf("service: empty query")
+	}
+	q, err := regex.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	return q, nil
+}
+
+// Create starts a new hosted session on the graph and returns it. The
+// learning loop runs in its own goroutine until it halts, is canceled, or
+// converges.
+func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, error) {
+	if err := h.Check(); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = "manual"
+	}
+	strat, err := strategyFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Strategy = strat.Name()
+	var goal *regex.Expr
+	switch cfg.Mode {
+	case "manual":
+	case "simulated":
+		if goal, err = parseQuery(cfg.Goal); err != nil {
+			return nil, fmt.Errorf("service: simulated session needs a goal query: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("service: unknown session mode %q (want manual or simulated)", cfg.Mode)
+	}
+
+	m.mu.Lock()
+	if m.live >= m.opts.MaxSessions {
+		live := m.live
+		m.mu.Unlock()
+		return nil, fmt.Errorf("service: %d live sessions: %w", live, ErrLimit)
+	}
+	m.live++
+	m.nextID++
+	id := fmt.Sprintf("s%04d", m.nextID)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &HostedSession{
+		id:     id,
+		handle: h,
+		cfg:    cfg,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		status: StatusRunning,
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+
+	var inner user.User
+	if cfg.Mode == "simulated" {
+		inner = user.NewSimulatedWith(h.Graph(), goal, h.Cache())
+	} else {
+		inner = &bridgeUser{s: s, ctx: ctx}
+	}
+	opts := interactive.Options{
+		Strategy:        strat,
+		InitialRadius:   cfg.InitialRadius,
+		PathValidation:  cfg.PathValidation,
+		MaxInteractions: cfg.MaxInteractions,
+		Learn:           learn.Options{MaxPathLength: cfg.MaxPathLength},
+		Cache:           h.Cache(),
+	}
+	sess := interactive.NewSession(h.Graph(), &observedUser{inner: inner, s: s}, opts)
+	go func() {
+		defer m.noteFinished(id)
+		defer close(s.done)
+		tr, err := sess.RunContext(ctx)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err != nil {
+			s.status = StatusFailed
+			s.errMsg = err.Error()
+			return
+		}
+		s.status = StatusDone
+		s.halt = string(tr.Halt)
+		if tr.Final != nil {
+			s.learned = tr.Final.String()
+		}
+		s.labels = tr.Labels()
+	}()
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (m *Manager) Get(id string) (*HostedSession, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// Remove cancels the session and drops it from the manager.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	delete(m.sessions, id)
+	// Purge the id from the finished-retention queue so a stale entry does
+	// not consume one of the documented retention slots.
+	for i, fid := range m.finishedIDs {
+		if fid == id {
+			m.finishedIDs = append(m.finishedIDs[:i], m.finishedIDs[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	if ok {
+		s.Cancel()
+	}
+	return ok
+}
+
+// List returns a snapshot of every session sorted by id.
+func (m *Manager) List() []SessionView {
+	m.mu.Lock()
+	sessions := make([]*HostedSession, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	out := make([]SessionView, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.View()
+	}
+	return out
+}
+
+// Counts returns the number of sessions per status.
+func (m *Manager) Counts() map[SessionStatus]int {
+	out := make(map[SessionStatus]int)
+	for _, v := range m.List() {
+		out[v.Status]++
+	}
+	return out
+}

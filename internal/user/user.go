@@ -80,7 +80,17 @@ type Simulated struct {
 
 // NewSimulated returns a simulated user pursuing the goal query on g.
 func NewSimulated(g *graph.Graph, goal *regex.Expr) *Simulated {
-	cache := rpq.NewCache(g)
+	return NewSimulatedWith(g, goal, nil)
+}
+
+// NewSimulatedWith is NewSimulated with an explicit engine cache to
+// evaluate through. A service hosting many sessions on one graph passes
+// the graph's shared cache; nil (or a cache for a different graph) falls
+// back to a private one.
+func NewSimulatedWith(g *graph.Graph, goal *regex.Expr, cache *rpq.EngineCache) *Simulated {
+	if cache == nil || cache.Graph() != g {
+		cache = rpq.NewCache(g)
+	}
 	return &Simulated{
 		g:       g,
 		goal:    goal,

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Smoke test for the gpsd service: start the server, load graphs, run one
+# simulated learning session to convergence over HTTP, evaluate a query
+# and read the stats. Used by CI; runnable locally with ./scripts/smoke_gpsd.sh.
+set -euo pipefail
+
+ADDR="${GPSD_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/gpsd"
+
+go build -o "$BIN" ./cmd/gpsd
+"$BIN" -addr "$ADDR" -preload demo=figure1 &
+GPSD_PID=$!
+trap 'kill "$GPSD_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+# Evaluate the paper's goal query on the preloaded Figure 1 graph: it must
+# select exactly the four neighbourhoods N1, N2, N4, N6.
+curl -fsS -X POST "$BASE/v1/graphs/demo/evaluate" \
+  -d '{"query":"(tram+bus)*.cinema","witnesses":true}' | tee /tmp/gpsd_eval.json
+grep -q '"count": 4' /tmp/gpsd_eval.json
+
+# Load a second graph inline to exercise the text loader.
+curl -fsS -X PUT "$BASE/v1/graphs/tiny" \
+  -d '{"format":"text","data":"edge a tram b\nedge b cinema c\n"}' >/dev/null
+
+# Drive one simulated learning session to convergence.
+SID=$(curl -fsS -X POST "$BASE/v1/sessions" \
+  -d '{"graph":"demo","mode":"simulated","goal":"(tram+bus)*.cinema"}' \
+  | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+test -n "$SID"
+
+STATUS=""
+for _ in $(seq 1 100); do
+  STATUS=$(curl -fsS "$BASE/v1/sessions/$SID" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')
+  [ "$STATUS" = "done" ] && break
+  sleep 0.1
+done
+[ "$STATUS" = "done" ]
+
+curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session.json
+grep -q '"halt": "user-satisfied"' /tmp/gpsd_session.json
+
+curl -fsS "$BASE/v1/sessions/$SID/hypothesis" | tee /tmp/gpsd_hyp.json
+grep -q '"learned"' /tmp/gpsd_hyp.json
+grep -q '"count": 4' /tmp/gpsd_hyp.json
+
+curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats.json
+grep -q '"graphs"' /tmp/gpsd_stats.json
+
+echo "gpsd smoke test passed"
