@@ -11,6 +11,8 @@
 //	gpsbench -full        # full-size graphs (minutes)
 //	gpsbench -csv         # also emit each table as CSV
 //	gpsbench -list        # list experiment identifiers
+//	gpsbench -rpqbench    # RPQ micro-benchmarks -> BENCH_rpq.json
+//	gpsbench -benchcmp BENCH_rpq.json   # regression gate vs BENCH_baseline.json
 package main
 
 import (
@@ -25,15 +27,26 @@ import (
 
 func main() {
 	var (
-		expList  = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
-		full     = flag.Bool("full", false, "run the full-size configuration instead of the quick one")
-		seed     = flag.Int64("seed", 1, "seed for all pseudo-random choices")
-		csv      = flag.Bool("csv", false, "also print each result table as CSV")
-		list     = flag.Bool("list", false, "list the available experiments and exit")
-		rpqBench = flag.Bool("rpqbench", false, "run the RPQ evaluation micro-benchmarks and write a JSON summary")
-		rpqOut   = flag.String("rpqbench-out", "BENCH_rpq.json", "output path of the -rpqbench JSON summary")
+		expList   = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+		full      = flag.Bool("full", false, "run the full-size configuration instead of the quick one")
+		seed      = flag.Int64("seed", 1, "seed for all pseudo-random choices")
+		csv       = flag.Bool("csv", false, "also print each result table as CSV")
+		list      = flag.Bool("list", false, "list the available experiments and exit")
+		rpqBench  = flag.Bool("rpqbench", false, "run the RPQ evaluation micro-benchmarks and write a JSON summary")
+		rpqOut    = flag.String("rpqbench-out", "BENCH_rpq.json", "output path of the -rpqbench JSON summary")
+		benchCmp  = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on regression")
+		benchBase = flag.String("benchcmp-base", "BENCH_baseline.json", "baseline summary for -benchcmp")
+		benchTol  = flag.Float64("benchcmp-threshold", 0.25, "allowed regression for -benchcmp (0.25 = 25%)")
 	)
 	flag.Parse()
+
+	if *benchCmp != "" {
+		if err := runBenchCompare(*benchBase, *benchCmp, *benchTol); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *rpqBench {
 		if err := runRPQBench(*rpqOut, *seed); err != nil {

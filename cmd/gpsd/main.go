@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	gpsd                                  # listen on :8080
+//	gpsd                                  # listen on :8080, in-memory
 //	gpsd -addr :9090 -shards 8            # custom port, 8 evaluation workers
 //	gpsd -preload demo=figure1            # register a built-in dataset at boot
 //	gpsd -preload big=transport:30x30     # sized transport grid
+//	gpsd -data-dir /var/lib/gpsd          # durable: snapshots + journals,
+//	                                      # crash recovery resumes sessions
 //
 // See the README's "Service" section for the API and curl examples.
 package main
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // parsePreload turns "name=kind" or "name=transport:RxC" into a LoadSpec.
@@ -55,14 +58,34 @@ func main() {
 		cacheCap = flag.Int("cache-cap", 0, "per-graph engine-cache capacity (0 = default)")
 		maxSess  = flag.Int("max-sessions", 0, "live session limit (0 = default)")
 		preload  = flag.String("preload", "", "comma-separated name=dataset graphs to register at boot (figure1, transport[:RxC], random[:N], scale-free[:N])")
+		dataDir  = flag.String("data-dir", "", "durable data directory for graph snapshots and session journals (empty = in-memory only)")
 	)
 	flag.Parse()
 
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		if st, err = store.Open(*dataDir); err != nil {
+			log.Fatalf("gpsd: %v", err)
+		}
+	}
 	srv := service.NewServer(service.Options{
 		EvalWorkers:   *shards,
 		CacheCapacity: *cacheCap,
 		MaxSessions:   *maxSess,
+		Store:         st,
 	})
+	if st != nil {
+		rep, err := srv.Recover()
+		if err != nil {
+			log.Fatalf("gpsd: recover %s: %v", *dataDir, err)
+		}
+		log.Printf("gpsd: recovered from %s: %d graphs, %d finished sessions, %d resumed sessions",
+			*dataDir, rep.Graphs, rep.SessionsFinished, rep.SessionsResumed)
+		for _, skipped := range rep.SessionsSkipped {
+			log.Printf("gpsd: recovery skipped session %s", skipped)
+		}
+	}
 	if *preload != "" {
 		for _, arg := range strings.Split(*preload, ",") {
 			name, spec, err := parsePreload(strings.TrimSpace(arg))
@@ -86,6 +109,9 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	// Drain open SSE streams when Shutdown begins, or they would hold the
+	// graceful shutdown until its deadline.
+	httpSrv.RegisterOnShutdown(srv.NotifyShutdown)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("gpsd: listening on %s", *addr)
@@ -100,7 +126,8 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Fatalf("gpsd: shutdown: %v", err)
+			log.Printf("gpsd: graceful shutdown: %v; forcing close", err)
+			_ = httpSrv.Close()
 		}
 	}
 }

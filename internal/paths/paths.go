@@ -98,60 +98,51 @@ func Enumerate(g *graph.Graph, start graph.NodeID, maxLen, maxPaths int) []Path 
 // the number of distinct words times the graph size, not by the number of
 // paths.
 func Words(g *graph.Graph, start graph.NodeID, maxLen int) [][]string {
-	if !g.HasNode(start) || maxLen < 0 {
+	ix := g.Indexed()
+	si, ok := ix.IndexOf(start)
+	if !ok || maxLen < 0 {
 		return nil
 	}
 	out := [][]string{{}}
-	type entry struct {
-		word []string
-		ends map[graph.NodeID]bool
-	}
-	current := map[string]*entry{"": {word: nil, ends: map[graph.NodeID]bool{start: true}}}
-	for depth := 0; depth < maxLen && len(current) > 0; depth++ {
-		next := make(map[string]*entry)
-		for _, e := range current {
-			for node := range e.ends {
-				for _, edge := range g.Out(node) {
-					word := append(append([]string(nil), e.word...), string(edge.Label))
-					key := WordKey(word)
-					ne, ok := next[key]
-					if !ok {
-						ne = &entry{word: word, ends: make(map[graph.NodeID]bool)}
-						next[key] = ne
-					}
-					ne.ends[edge.To] = true
-				}
-			}
-		}
-		for _, e := range next {
-			out = append(out, e.word)
-		}
-		current = next
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if len(out[i]) != len(out[j]) {
-			return len(out[i]) < len(out[j])
-		}
-		return WordKey(out[i]) < WordKey(out[j])
+	forEachWord(ix, si, maxLen, func(_ string, word []int32) {
+		out = append(out, wordStrings(ix, word))
 	})
+	sortWords(out)
 	return out
+}
+
+// sortWords orders words by length then lexicographically by WordKey.
+func sortWords(words [][]string) {
+	sort.Slice(words, func(i, j int) bool {
+		if len(words[i]) != len(words[j]) {
+			return len(words[i]) < len(words[j])
+		}
+		return WordKey(words[i]) < WordKey(words[j])
+	})
 }
 
 // HasWord reports whether node start has a path spelling exactly the word.
 // The empty word is always present.
 func HasWord(g *graph.Graph, start graph.NodeID, word []string) bool {
-	if !g.HasNode(start) {
+	ix := g.Indexed()
+	si, ok := ix.IndexOf(start)
+	if !ok {
 		return false
 	}
-	current := map[graph.NodeID]bool{start: true}
+	current := newNodeSet(ix.NumNodes())
+	current.add(si)
 	for _, label := range word {
-		next := make(map[graph.NodeID]bool)
-		for node := range current {
-			for _, e := range g.OutWithLabel(node, graph.Label(label)) {
-				next[e.To] = true
-			}
+		li, ok := ix.LabelIndexOf(graph.Label(label))
+		if !ok {
+			return false
 		}
-		if len(next) == 0 {
+		next := newNodeSet(ix.NumNodes())
+		current.forEach(func(node int32) {
+			for _, t := range ix.Out(node, li) {
+				next.add(t)
+			}
+		})
+		if next.empty() {
 			return false
 		}
 		current = next
@@ -173,28 +164,63 @@ func Covered(g *graph.Graph, word []string, negatives []graph.NodeID) bool {
 // Coverage is the precomputed set of words (up to a length bound) covered
 // by a set of negative nodes. Interactive strategies and pruning test many
 // nodes against the same negatives, so computing the covered set once and
-// reusing it avoids re-walking the graph per candidate word.
+// reusing it avoids re-walking the graph per candidate word. The covered
+// words are keyed by packed label indices of the Indexed view the coverage
+// was built on, so probing never joins label strings.
 type Coverage struct {
 	maxLen int
-	words  map[string]bool
+	ix     *graph.Indexed
+	// empty reports whether the empty word is covered, i.e. at least one
+	// negative node exists in the graph (every existing node has the empty
+	// word).
+	empty bool
+	words map[string]bool
 }
 
 // NewCoverage precomputes the words of length at most maxLen covered by the
 // negative nodes.
 func NewCoverage(g *graph.Graph, negatives []graph.NodeID, maxLen int) *Coverage {
-	c := &Coverage{maxLen: maxLen, words: make(map[string]bool)}
+	ix := g.Indexed()
+	c := &Coverage{maxLen: maxLen, ix: ix, words: make(map[string]bool)}
+	if maxLen < 0 {
+		return c
+	}
 	for _, n := range negatives {
-		for _, w := range Words(g, n, maxLen) {
-			c.words[WordKey(w)] = true
+		si, ok := ix.IndexOf(n)
+		if !ok {
+			continue
 		}
+		c.empty = true
+		forEachWord(ix, si, maxLen, func(key string, _ []int32) {
+			c.words[key] = true
+		})
 	}
 	return c
+}
+
+// packStrings converts a word of label strings to its packed-index key;
+// ok=false means some label does not occur in the graph (no node can cover
+// such a word).
+func (c *Coverage) packStrings(word []string) (string, bool) {
+	idx := make([]int32, len(word))
+	for i, label := range word {
+		l, ok := c.ix.LabelIndexOf(graph.Label(label))
+		if !ok {
+			return "", false
+		}
+		idx[i] = l
+	}
+	return packWord(idx), true
 }
 
 // Covers reports whether the word (of length at most the coverage bound) is
 // covered by one of the negative nodes.
 func (c *Coverage) Covers(word []string) bool {
-	return c.words[WordKey(word)]
+	if len(word) == 0 {
+		return c.empty
+	}
+	key, ok := c.packStrings(word)
+	return ok && c.words[key]
 }
 
 // SmallestUncovered returns a shortest word of node start (with 0..maxLen
@@ -220,12 +246,26 @@ func UncoveredWords(g *graph.Graph, start graph.NodeID, negatives []graph.NodeID
 // UncoveredWordsWith is UncoveredWords with a caller-provided Coverage,
 // letting callers that scan many nodes share one covered-word set.
 func UncoveredWordsWith(g *graph.Graph, start graph.NodeID, maxLen int, cov *Coverage) [][]string {
+	ix := g.Indexed()
+	si, ok := ix.IndexOf(start)
+	if !ok || maxLen < 0 {
+		return nil
+	}
+	sameView := cov.ix == ix
 	var out [][]string
-	for _, w := range Words(g, start, maxLen) {
-		if !cov.Covers(w) {
+	if !cov.Covers(nil) {
+		out = append(out, []string{})
+	}
+	forEachWord(ix, si, maxLen, func(key string, word []int32) {
+		if sameView {
+			if !cov.words[key] {
+				out = append(out, wordStrings(ix, word))
+			}
+		} else if w := wordStrings(ix, word); !cov.Covers(w) {
 			out = append(out, w)
 		}
-	}
+	})
+	sortWords(out)
 	return out
 }
 
@@ -238,7 +278,29 @@ func CountUncovered(g *graph.Graph, start graph.NodeID, negatives []graph.NodeID
 	return len(UncoveredWords(g, start, negatives, maxLen))
 }
 
-// CountUncoveredWith is CountUncovered with a caller-provided Coverage.
+// CountUncoveredWith is CountUncovered with a caller-provided Coverage. It
+// is the strategy hot path (called once per candidate node per proposal),
+// so when the coverage was built on the same Indexed view it counts packed
+// word keys directly without materialising any label strings.
 func CountUncoveredWith(g *graph.Graph, start graph.NodeID, maxLen int, cov *Coverage) int {
-	return len(UncoveredWordsWith(g, start, maxLen, cov))
+	ix := g.Indexed()
+	si, ok := ix.IndexOf(start)
+	if !ok || maxLen < 0 {
+		return 0
+	}
+	sameView := cov.ix == ix
+	count := 0
+	if !cov.Covers(nil) {
+		count++
+	}
+	forEachWord(ix, si, maxLen, func(key string, word []int32) {
+		if sameView {
+			if !cov.words[key] {
+				count++
+			}
+		} else if !cov.Covers(wordStrings(ix, word)) {
+			count++
+		}
+	})
+	return count
 }

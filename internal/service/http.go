@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -20,6 +21,7 @@ import (
 //	POST   /v1/sessions                 create a learning session
 //	GET    /v1/sessions                 list sessions
 //	GET    /v1/sessions/{id}            session state + pending question
+//	GET    /v1/sessions/{id}/events     server-sent event stream (journal tail)
 //	POST   /v1/sessions/{id}/label      answer the pending question
 //	GET    /v1/sessions/{id}/hypothesis current hypothesis + its answer set
 //	DELETE /v1/sessions/{id}            cancel and drop a session
@@ -30,6 +32,13 @@ type Server struct {
 	registry *Registry
 	manager  *Manager
 	start    time.Time
+	// recovery is what Recover restored; written once at boot, before the
+	// handler serves.
+	recovery RecoveryReport
+	// shutdown is closed by NotifyShutdown so long-lived streams (SSE)
+	// drain instead of pinning a graceful http.Server.Shutdown forever.
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
 }
 
 // NewServer assembles a service instance.
@@ -40,7 +49,16 @@ func NewServer(opts Options) *Server {
 		registry: NewRegistry(opts),
 		manager:  NewManager(opts),
 		start:    time.Now(),
+		shutdown: make(chan struct{}),
 	}
+}
+
+// NotifyShutdown tells the service a graceful shutdown has begun: every
+// open event stream ends after its current flush, so http.Server.Shutdown
+// is not held hostage by idle SSE tailers. Wire it up with
+// httpServer.RegisterOnShutdown(srv.NotifyShutdown). Idempotent.
+func (s *Server) NotifyShutdown() {
+	s.shutdownOnce.Do(func() { close(s.shutdown) })
 }
 
 // Registry exposes the graph registry (for preloading in cmd/gpsd and
@@ -69,6 +87,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.manager.List()})
 	})
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	mux.HandleFunc("POST /v1/sessions/{id}/label", s.handleAnswer)
 	mux.HandleFunc("GET /v1/sessions/{id}/hypothesis", s.handleHypothesis)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
@@ -85,6 +104,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errorCode upgrades the fallback status to 500 for durable-layer
+// failures: the client's request was fine, the disk was not.
+func errorCode(err error, fallback int) int {
+	if errors.Is(err, ErrStore) {
+		return http.StatusInternalServerError
+	}
+	return fallback
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -109,7 +137,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	h, err := s.registry.Register(r.PathValue("name"), g)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errorCode(err, http.StatusBadRequest), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, h.info())
@@ -201,7 +229,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrLimit) {
 			code = http.StatusTooManyRequests
 		}
-		writeError(w, code, err)
+		writeError(w, errorCode(err, code), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, sess.View())
@@ -235,7 +263,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrConflict) {
 			code = http.StatusConflict
 		}
-		writeError(w, code, err)
+		writeError(w, errorCode(err, code), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.View())
@@ -281,12 +309,17 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"eval_workers":   s.opts.EvalWorkers,
 		"cache_capacity": s.opts.CacheCapacity,
 		"max_sessions":   s.opts.MaxSessions,
 		"graphs":         s.registry.List(),
 		"sessions":       s.manager.Counts(),
-	})
+	}
+	if st := s.opts.Store; st != nil {
+		resp["store"] = st.Metrics()
+		resp["recovery"] = s.recovery
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

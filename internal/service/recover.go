@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/regex"
+	"repro/internal/store"
+)
+
+// RecoveryReport summarises what Server.Recover restored; it is also
+// surfaced on /v1/stats so operators can see what a restart brought back.
+type RecoveryReport struct {
+	// Graphs counts re-registered graph snapshots.
+	Graphs int `json:"graphs"`
+	// SessionsResumed counts in-flight sessions whose learning loop was
+	// re-driven from the journal; SessionsFinished counts finished
+	// sessions restored as inspectable records.
+	SessionsResumed  int `json:"sessions_resumed"`
+	SessionsFinished int `json:"sessions_finished"`
+	// SessionsSkipped lists journals that could not be restored, with the
+	// reason. Their files are left on disk untouched.
+	SessionsSkipped []string `json:"sessions_skipped,omitempty"`
+}
+
+// Recover replays the configured store into the server: graph snapshots
+// re-register under their names, finished sessions come back as
+// inspectable records, and in-flight sessions resume — their learning
+// loops re-run against the journaled answers until they reach the exact
+// pre-crash state, then park on the next question as if the crash never
+// happened. Call it after NewServer and before serving requests.
+func (s *Server) Recover() (RecoveryReport, error) {
+	st := s.opts.Store
+	if st == nil {
+		return RecoveryReport{}, fmt.Errorf("service: recover needs Options.Store")
+	}
+	var rep RecoveryReport
+	graphs, err := st.RecoverGraphs()
+	if err != nil {
+		return rep, err
+	}
+	for _, rg := range graphs {
+		s.registry.restore(rg.Name, rg.Graph)
+		rep.Graphs++
+	}
+	sessions, err := st.RecoverSessions()
+	if err != nil {
+		return rep, err
+	}
+	for _, rs := range sessions {
+		resumed, err := s.manager.Restore(s.registry, rs)
+		if err != nil {
+			rep.SessionsSkipped = append(rep.SessionsSkipped, fmt.Sprintf("%s: %v", rs.ID, err))
+			_ = rs.Journal.Close()
+			continue
+		}
+		if resumed {
+			rep.SessionsResumed++
+		} else {
+			rep.SessionsFinished++
+		}
+	}
+	s.recovery = rep
+	return rep, nil
+}
+
+// Restore rebuilds one session from its recovered journal. A journal with
+// a terminal record restores as a finished session (no goroutine); an
+// unterminated journal is an in-flight session, whose loop is relaunched
+// with a replayState that re-feeds the journaled answers (resumed=true).
+func (m *Manager) Restore(reg *Registry, rs store.RecoveredSession) (resumed bool, err error) {
+	// Advance the id allocator even when the journal turns out to be
+	// unrestorable: its file stays on disk, and a future Create reusing
+	// the id would collide with it.
+	m.noteID(rs.ID)
+	recs := rs.Journal.Records()
+	if len(recs) == 0 || recs[0].Type != recCreate {
+		return false, fmt.Errorf("journal has no create record")
+	}
+	var cr createRecord
+	if err := json.Unmarshal(recs[0].Data, &cr); err != nil {
+		return false, fmt.Errorf("create record: %w", err)
+	}
+	h, ok := reg.Get(cr.Graph)
+	if !ok {
+		return false, fmt.Errorf("graph %q is not registered", cr.Graph)
+	}
+	if err := h.Check(); err != nil {
+		return false, err
+	}
+
+	var questions []Question
+	var answers []Answer
+	hypCount := 0
+	lastHyp := ""
+	var final *doneRecord
+	failed := false
+	for _, rec := range recs[1:] {
+		switch rec.Type {
+		case recQuestion:
+			var q Question
+			if err := json.Unmarshal(rec.Data, &q); err != nil {
+				return false, fmt.Errorf("record %d: %w", rec.Seq, err)
+			}
+			questions = append(questions, q)
+		case recAnswer:
+			var a Answer
+			if err := json.Unmarshal(rec.Data, &a); err != nil {
+				return false, fmt.Errorf("record %d: %w", rec.Seq, err)
+			}
+			answers = append(answers, a)
+		case recHypothesis:
+			var hr hypothesisRecord
+			if err := json.Unmarshal(rec.Data, &hr); err != nil {
+				return false, fmt.Errorf("record %d: %w", rec.Seq, err)
+			}
+			hypCount++
+			lastHyp = hr.Learned
+		case recDone, recFailed:
+			var d doneRecord
+			if err := json.Unmarshal(rec.Data, &d); err != nil {
+				return false, fmt.Errorf("record %d: %w", rec.Seq, err)
+			}
+			final = &d
+			failed = rec.Type == recFailed
+		}
+	}
+
+	if final != nil {
+		learned := final.Learned
+		if learned == "" {
+			learned = lastHyp
+		}
+		done := make(chan struct{})
+		close(done)
+		s := &HostedSession{
+			id:      rs.ID,
+			handle:  h,
+			cfg:     cr.Config,
+			cancel:  func() {},
+			done:    done,
+			journal: rs.Journal,
+			labels:  final.Labels,
+			learned: learned,
+		}
+		if failed {
+			s.status = StatusFailed
+			s.errMsg = final.Error
+		} else {
+			s.status = StatusDone
+			s.halt = final.Halt
+		}
+		_ = rs.Journal.Close() // terminal: nothing appends anymore
+		m.mu.Lock()
+		m.sessions[rs.ID] = s
+		m.finishedIDs = append(m.finishedIDs, rs.ID)
+		m.evictFinishedLocked()
+		m.mu.Unlock()
+		return false, nil
+	}
+
+	strat, err := strategyFor(cr.Config)
+	if err != nil {
+		return false, err
+	}
+	var goal *regex.Expr
+	if cr.Config.Mode == "simulated" {
+		if goal, err = parseQuery(cr.Config.Goal); err != nil {
+			return false, err
+		}
+	}
+	s := &HostedSession{
+		id:      rs.ID,
+		handle:  h,
+		cfg:     cr.Config,
+		done:    make(chan struct{}),
+		journal: rs.Journal,
+		status:  StatusRunning,
+	}
+	if len(questions) > 0 || len(answers) > 0 || hypCount > 0 {
+		s.replay = &replayState{answers: answers, questions: questions, hypSkip: hypCount}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	// Resumed sessions bypass the MaxSessions admission check: they held a
+	// slot before the crash, and refusing them would lose user labels.
+	m.mu.Lock()
+	m.live++
+	m.sessions[rs.ID] = s
+	m.mu.Unlock()
+	m.launch(s, strat, goal, ctx)
+	return true, nil
+}
+
+// noteID advances the id allocator past a recovered session id so new
+// sessions never collide with restored ones.
+func (m *Manager) noteID(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "s%d", &n); err == nil {
+		m.mu.Lock()
+		if n > m.nextID {
+			m.nextID = n
+		}
+		m.mu.Unlock()
+	}
+}

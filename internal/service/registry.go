@@ -84,8 +84,14 @@ func (h *GraphHandle) info() GraphInfo {
 type Registry struct {
 	opts Options
 
-	mu     sync.RWMutex
-	graphs map[string]*GraphHandle
+	// storeMu serializes Register's {persist snapshot, install} against
+	// Remove's {uninstall, delete snapshot}, so the on-disk store never
+	// falls out of step with the registry map (a concurrent Remove could
+	// otherwise delete the snapshot a replacing Register just wrote,
+	// leaving a registered graph that silently vanishes at recovery).
+	storeMu sync.Mutex
+	mu      sync.RWMutex
+	graphs  map[string]*GraphHandle
 }
 
 // NewRegistry returns an empty registry.
@@ -95,6 +101,8 @@ func NewRegistry(opts Options) *Registry {
 
 // Register installs (or replaces) a graph under the given name and returns
 // its snapshot handle. The graph must not be mutated after registration.
+// On a durable service the snapshot is persisted before the graph becomes
+// visible, so a name the client saw registered is always recoverable.
 func (r *Registry) Register(name string, g *graph.Graph) (*GraphHandle, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: empty graph name")
@@ -102,6 +110,23 @@ func (r *Registry) Register(name string, g *graph.Graph) (*GraphHandle, error) {
 	if g == nil || g.NumNodes() == 0 {
 		return nil, fmt.Errorf("service: graph %q is empty", name)
 	}
+	r.storeMu.Lock()
+	defer r.storeMu.Unlock()
+	if r.opts.Store != nil {
+		if err := r.opts.Store.SaveGraph(name, g); err != nil {
+			return nil, fmt.Errorf("service: %w: %w", ErrStore, err)
+		}
+	}
+	return r.install(name, g), nil
+}
+
+// restore installs a graph recovered from the store without re-persisting
+// its (already durable) snapshot.
+func (r *Registry) restore(name string, g *graph.Graph) *GraphHandle {
+	return r.install(name, g)
+}
+
+func (r *Registry) install(name string, g *graph.Graph) *GraphHandle {
 	h := &GraphHandle{
 		name:    name,
 		g:       g,
@@ -114,7 +139,7 @@ func (r *Registry) Register(name string, g *graph.Graph) (*GraphHandle, error) {
 	r.mu.Lock()
 	r.graphs[name] = h
 	r.mu.Unlock()
-	return h, nil
+	return h
 }
 
 // Get returns the handle registered under name.
@@ -125,13 +150,21 @@ func (r *Registry) Get(name string) (*GraphHandle, bool) {
 	return h, ok
 }
 
-// Remove drops the name from the registry. Sessions holding the handle
-// keep working on their snapshot.
+// Remove drops the name from the registry (and its persisted snapshot, on
+// a durable service). Sessions holding the handle keep working on their
+// snapshot.
 func (r *Registry) Remove(name string) bool {
+	r.storeMu.Lock()
+	defer r.storeMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	_, ok := r.graphs[name]
 	delete(r.graphs, name)
+	r.mu.Unlock()
+	if ok && r.opts.Store != nil {
+		// Best effort: a leftover snapshot re-registers the graph on the
+		// next recovery, which is annoying but safe.
+		_ = r.opts.Store.DeleteGraph(name)
+	}
 	return ok
 }
 

@@ -10,15 +10,26 @@
 //     either by a server-side simulated oracle or by a remote client that
 //     answers label/path/satisfied questions over the API;
 //   - an HTTP front-end (see http.go and cmd/gpsd) exposing graph loading,
-//     session management, labelling, hypothesis retrieval, sharded query
-//     evaluation and server statistics as a JSON API.
+//     session management, labelling, hypothesis retrieval, server-sent
+//     session event streams, sharded query evaluation and server
+//     statistics as a JSON API;
+//   - an optional durable layer (internal/store, enabled by Options.Store):
+//     registered graphs are snapshotted, every session state transition is
+//     write-ahead journaled, and Server.Recover replays both after a crash
+//     — finished sessions come back as inspectable records and in-flight
+//     manual sessions resume at their exact pre-crash question by
+//     re-driving the deterministic learning loop with the journaled
+//     answers (see recover.go).
 //
 // Query evaluation everywhere in the service goes through rpq.NewWith, so
 // the product-reachability sweep of large graphs is sharded across
 // Options.EvalWorkers goroutines.
 package service
 
-import "repro/internal/rpq"
+import (
+	"repro/internal/rpq"
+	"repro/internal/store"
+)
 
 // Options configures a service instance.
 type Options struct {
@@ -32,6 +43,11 @@ type Options struct {
 	// MaxSessions bounds the number of live (not yet finished) sessions.
 	// 0 means 256.
 	MaxSessions int
+	// Store, when non-nil, makes the service durable: graph registrations
+	// are snapshotted and session transcripts write-ahead journaled under
+	// the store's data directory. Nil keeps everything in memory (session
+	// event streams still work off in-memory journals).
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {

@@ -11,8 +11,51 @@ import (
 	"repro/internal/interactive"
 	"repro/internal/learn"
 	"repro/internal/regex"
+	"repro/internal/store"
 	"repro/internal/user"
 )
+
+// Journal record types. Every externally observable state transition of a
+// hosted session is appended to its journal — write-ahead on a durable
+// service, in-memory otherwise — in the order it takes effect, so the
+// journal is simultaneously the crash-recovery log and the event stream
+// served by GET /v1/sessions/{id}/events.
+const (
+	// recCreate opens every journal with the graph name and the resolved
+	// session configuration (payload: createRecord).
+	recCreate = "create"
+	// recQuestion is a question published to the client (payload:
+	// Question).
+	recQuestion = "question"
+	// recAnswer is a client answer, journaled before it is delivered to
+	// the learning loop (payload: Answer).
+	recAnswer = "answer"
+	// recHypothesis is a freshly learned hypothesis (payload:
+	// hypothesisRecord).
+	recHypothesis = "hypothesis"
+	// recDone and recFailed terminate the journal (payload: doneRecord).
+	recDone   = "done"
+	recFailed = "failed"
+)
+
+// createRecord is the payload of the first journal record.
+type createRecord struct {
+	Graph  string        `json:"graph"`
+	Config SessionConfig `json:"config"`
+}
+
+// hypothesisRecord is the payload of a recHypothesis record.
+type hypothesisRecord struct {
+	Learned string `json:"learned"`
+}
+
+// doneRecord is the payload of the terminal record.
+type doneRecord struct {
+	Halt    string `json:"halt,omitempty"`
+	Learned string `json:"learned,omitempty"`
+	Labels  int    `json:"labels"`
+	Error   string `json:"error,omitempty"`
+}
 
 // SessionStatus is the externally visible state of a hosted session.
 type SessionStatus string
@@ -116,6 +159,8 @@ type HostedSession struct {
 	cancel context.CancelFunc
 	// done is closed when the learning goroutine exits.
 	done chan struct{}
+	// journal records every state transition; see the rec* constants.
+	journal *store.Journal
 
 	mu        sync.Mutex
 	status    SessionStatus
@@ -126,6 +171,24 @@ type HostedSession struct {
 	learned   string
 	halt      string
 	errMsg    string
+	// fatal is set when the session must die with an error that the
+	// learning loop itself cannot observe (journal write failure, journal
+	// divergence during resume); fail() records it and cancels the loop.
+	fatal string
+	// replay drives a resumed session back to its pre-crash state; nil on
+	// sessions created normally and after replay completes.
+	replay *replayState
+}
+
+// replayState carries what recovery read from a resumed session's journal:
+// the answers to re-feed to the regenerated questions, the journaled
+// questions themselves (for divergence detection and to suppress
+// re-journaling records that already exist), and how many hypothesis
+// records are already on disk.
+type replayState struct {
+	answers   []Answer
+	questions []Question
+	hypSkip   int
 }
 
 // ID returns the session identifier.
@@ -167,17 +230,91 @@ func (s *HostedSession) Learned() string {
 // the in-flight interaction finishes.
 func (s *HostedSession) Cancel() { s.cancel() }
 
+// Journal returns the session's event journal (the SSE endpoint tails it).
+func (s *HostedSession) Journal() *store.Journal { return s.journal }
+
+// fail marks the session as fatally broken and cancels its learning loop.
+// Safe to call from any goroutine; the first recorded reason wins.
+func (s *HostedSession) fail(err error) {
+	s.mu.Lock()
+	if s.fatal == "" {
+		s.fatal = err.Error()
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
 // ask publishes a question, parks the learning goroutine until a client
 // answers it (or the session is canceled) and returns the answer.
+//
+// On a resumed session, the journaled answers are re-fed here without ever
+// publishing: the learning loop regenerates the same questions it asked
+// before the crash (every strategy is deterministic given the restored
+// graph and the seed), each is checked against its journaled counterpart,
+// and a question whose record already exists on disk is not re-journaled,
+// so the journal stays free of duplicates across any number of crashes.
 func (s *HostedSession) ask(ctx context.Context, q *Question, st SessionStatus) (Answer, bool) {
 	ch := make(chan Answer, 1)
 	s.mu.Lock()
 	s.seq++
 	q.Seq = s.seq
+	journalQ := true
+	if r := s.replay; r != nil {
+		if s.seq <= len(r.questions) {
+			jq := r.questions[s.seq-1]
+			if jq.Kind != q.Kind || jq.Node != q.Node {
+				s.mu.Unlock()
+				s.fail(fmt.Errorf("service: resume diverged at question %d: journal asked %s %q, loop asked %s %q",
+					s.seq, jq.Kind, jq.Node, q.Kind, q.Node))
+				return Answer{}, false
+			}
+			journalQ = false
+		}
+		if len(r.answers) > 0 {
+			a := r.answers[0]
+			r.answers = r.answers[1:]
+			s.mu.Unlock()
+			// A journaled answer can exist without its question's record
+			// (the answer's append can win the journal mutex, or the crash
+			// landed between the two). Re-journal the question now, or a
+			// second crash would pair this position against the next
+			// question's record and trip the divergence guard.
+			if journalQ {
+				if err := s.journal.Append(recQuestion, q); err != nil {
+					s.fail(err)
+					return Answer{}, false
+				}
+			}
+			return a, true
+		}
+		if s.seq >= len(r.questions) {
+			// Replay complete: every journaled answer is consumed and the
+			// loop has caught up with the journaled questions.
+			s.replay = nil
+		}
+	}
+	// Publish the pending question before the journal append wakes the SSE
+	// tailers: a stream-driven client that answers the moment it sees the
+	// question event must find the question answerable, not get a 409. If
+	// the concurrent answer's journal record then lands before the
+	// question's, recovery still pairs them correctly (questions and
+	// answers replay by order within their types, and a question whose
+	// record was lost to the crash is deterministically re-asked and
+	// re-journaled).
 	s.pending = q
 	s.pendingCh = ch
 	s.status = st
 	s.mu.Unlock()
+	if journalQ {
+		if err := s.journal.Append(recQuestion, q); err != nil {
+			s.mu.Lock()
+			s.pending = nil
+			s.pendingCh = nil
+			s.mu.Unlock()
+			s.fail(err)
+			return Answer{}, false
+		}
+	}
 	select {
 	case a := <-ch:
 		s.mu.Lock()
@@ -204,39 +341,59 @@ var ErrConflict = errors.New("state conflict")
 // retryable.
 var ErrLimit = errors.New("session limit reached")
 
-// Answer delivers the client's reply to the pending question.
+// ErrStore marks failures of the durable layer (journal or snapshot
+// writes); the HTTP layer maps it to 500.
+var ErrStore = errors.New("store failure")
+
+// Answer delivers the client's reply to the pending question. On a durable
+// service the answer is journaled before it reaches the learning loop:
+// once the client has seen this call succeed, the answer survives a crash.
 func (s *HostedSession) Answer(a Answer) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.pending == nil {
+		s.mu.Unlock()
 		return fmt.Errorf("service: session %s has no pending question (status %s): %w", s.id, s.status, ErrConflict)
 	}
 	if a.Seq != 0 && a.Seq != s.pending.Seq {
-		return fmt.Errorf("service: answer for question %d but question %d is pending: %w", a.Seq, s.pending.Seq, ErrConflict)
+		err := fmt.Errorf("service: answer for question %d but question %d is pending: %w", a.Seq, s.pending.Seq, ErrConflict)
+		s.mu.Unlock()
+		return err
 	}
+	var err error
 	switch s.pending.Kind {
 	case "label":
 		switch a.Decision {
 		case "positive", "negative":
 		case "zoom":
 			if !s.pending.CanZoom {
-				return fmt.Errorf("service: the radius limit is reached, answer positive or negative")
+				err = fmt.Errorf("service: the radius limit is reached, answer positive or negative")
 			}
 		default:
-			return fmt.Errorf("service: label answer needs decision positive, negative or zoom (got %q)", a.Decision)
+			err = fmt.Errorf("service: label answer needs decision positive, negative or zoom (got %q)", a.Decision)
 		}
 	case "path":
 		if len(a.Word) == 0 && !a.Accept {
-			return fmt.Errorf("service: path answer needs a word or accept=true")
+			err = fmt.Errorf("service: path answer needs a word or accept=true")
 		}
 	case "satisfied":
 		if a.Satisfied == nil {
-			return fmt.Errorf("service: satisfied answer needs satisfied=true|false")
+			err = fmt.Errorf("service: satisfied answer needs satisfied=true|false")
 		}
+	}
+	if err != nil {
+		s.mu.Unlock()
+		return err
 	}
 	ch := s.pendingCh
 	s.pending = nil
 	s.pendingCh = nil
+	s.mu.Unlock()
+	// Write-ahead: the answer must be durable before the loop acts on it.
+	// The fsync happens outside the session lock so views are not blocked.
+	if err := s.journal.Append(recAnswer, a); err != nil {
+		s.fail(err)
+		return fmt.Errorf("service: %w: %w", ErrStore, err)
+	}
 	ch <- a
 	return nil
 }
@@ -311,11 +468,28 @@ func (o *observedUser) ValidatePath(node graph.NodeID, words [][]string, candida
 
 func (o *observedUser) Satisfied(learned *regex.Expr) bool {
 	if learned != nil {
-		o.s.mu.Lock()
-		o.s.learned = learned.String()
-		o.s.mu.Unlock()
+		o.s.noteHypothesis(learned.String())
 	}
 	return o.inner.Satisfied(learned)
+}
+
+// noteHypothesis records a freshly learned hypothesis in the view and the
+// journal. During resume, the first replayState.hypSkip hypotheses are
+// regenerations of records already on disk and are not re-journaled.
+func (s *HostedSession) noteHypothesis(learned string) {
+	s.mu.Lock()
+	s.learned = learned
+	skip := false
+	if s.replay != nil && s.replay.hypSkip > 0 {
+		s.replay.hypSkip--
+		skip = true
+	}
+	s.mu.Unlock()
+	if !skip {
+		if err := s.journal.Append(recHypothesis, hypothesisRecord{Learned: learned}); err != nil {
+			s.fail(err)
+		}
+	}
 }
 
 // Manager owns the hosted sessions. Live sessions are bounded by
@@ -353,11 +527,30 @@ func (m *Manager) noteFinished(id string) {
 		return // already removed explicitly
 	}
 	m.finishedIDs = append(m.finishedIDs, id)
+	m.evictFinishedLocked()
+}
+
+// evictFinishedLocked trims the finished-retention queue to MaxSessions,
+// deleting each evicted session's journal so the on-disk state mirrors the
+// retention policy (an evicted session is not resurrected at recovery).
+func (m *Manager) evictFinishedLocked() {
 	for len(m.finishedIDs) > m.opts.MaxSessions {
 		evict := m.finishedIDs[0]
 		m.finishedIDs = m.finishedIDs[1:]
+		if s, ok := m.sessions[evict]; ok {
+			_ = s.journal.Remove()
+		}
 		delete(m.sessions, evict)
 	}
+}
+
+// newJournal builds the journal of a new session: file-backed on a durable
+// service, in-memory otherwise.
+func (m *Manager) newJournal(id string) (*store.Journal, error) {
+	if m.opts.Store == nil {
+		return store.NewMemJournal(), nil
+	}
+	return m.opts.Store.CreateJournal(id)
 }
 
 func strategyFor(cfg SessionConfig) (interactive.Strategy, error) {
@@ -421,52 +614,90 @@ func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, err
 	m.live++
 	m.nextID++
 	id := fmt.Sprintf("s%04d", m.nextID)
-	ctx, cancel := context.WithCancel(context.Background())
-	s := &HostedSession{
-		id:     id,
-		handle: h,
-		cfg:    cfg,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		status: StatusRunning,
-	}
-	m.sessions[id] = s
 	m.mu.Unlock()
 
+	jr, err := m.newJournal(id)
+	if err == nil {
+		err = jr.Append(recCreate, createRecord{Graph: h.Name(), Config: cfg})
+	}
+	if err != nil {
+		if jr != nil {
+			_ = jr.Remove()
+		}
+		m.mu.Lock()
+		m.live--
+		m.mu.Unlock()
+		return nil, fmt.Errorf("service: %w: %w", ErrStore, err)
+	}
+
+	s := &HostedSession{
+		id:      id,
+		handle:  h,
+		cfg:     cfg,
+		done:    make(chan struct{}),
+		journal: jr,
+		status:  StatusRunning,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	m.mu.Lock()
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.launch(s, strat, goal, ctx)
+	return s, nil
+}
+
+// launch starts the learning goroutine of a session whose slot, journal,
+// cancel function and manager registration are already in place. Shared by
+// Create and the resume path of Restore.
+func (m *Manager) launch(s *HostedSession, strat interactive.Strategy, goal *regex.Expr, ctx context.Context) {
+	h := s.handle
 	var inner user.User
-	if cfg.Mode == "simulated" {
+	if s.cfg.Mode == "simulated" {
 		inner = user.NewSimulatedWith(h.Graph(), goal, h.Cache())
 	} else {
 		inner = &bridgeUser{s: s, ctx: ctx}
 	}
 	opts := interactive.Options{
 		Strategy:        strat,
-		InitialRadius:   cfg.InitialRadius,
-		PathValidation:  cfg.PathValidation,
-		MaxInteractions: cfg.MaxInteractions,
-		Learn:           learn.Options{MaxPathLength: cfg.MaxPathLength},
+		InitialRadius:   s.cfg.InitialRadius,
+		PathValidation:  s.cfg.PathValidation,
+		MaxInteractions: s.cfg.MaxInteractions,
+		Learn:           learn.Options{MaxPathLength: s.cfg.MaxPathLength},
 		Cache:           h.Cache(),
 	}
 	sess := interactive.NewSession(h.Graph(), &observedUser{inner: inner, s: s}, opts)
 	go func() {
-		defer m.noteFinished(id)
+		defer m.noteFinished(s.id)
 		defer close(s.done)
 		tr, err := sess.RunContext(ctx)
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		if err != nil {
+		fatal := s.fatal
+		if fatal == "" && err != nil {
+			fatal = err.Error()
+		}
+		var final doneRecord
+		terminal := recDone
+		if fatal != "" {
 			s.status = StatusFailed
-			s.errMsg = err.Error()
-			return
+			s.errMsg = fatal
+			terminal = recFailed
+			final = doneRecord{Error: fatal, Learned: s.learned, Labels: s.labels}
+		} else {
+			s.status = StatusDone
+			s.halt = string(tr.Halt)
+			if tr.Final != nil {
+				s.learned = tr.Final.String()
+			}
+			s.labels = tr.Labels()
+			final = doneRecord{Halt: s.halt, Learned: s.learned, Labels: s.labels}
 		}
-		s.status = StatusDone
-		s.halt = string(tr.Halt)
-		if tr.Final != nil {
-			s.learned = tr.Final.String()
-		}
-		s.labels = tr.Labels()
+		s.mu.Unlock()
+		// Best effort: the terminal record of a session torn down by
+		// Remove may land on an already-removed journal.
+		_ = s.journal.Append(terminal, final)
+		_ = s.journal.Close()
 	}()
-	return s, nil
 }
 
 // Get returns the session with the given id.
@@ -477,7 +708,8 @@ func (m *Manager) Get(id string) (*HostedSession, bool) {
 	return s, ok
 }
 
-// Remove cancels the session and drops it from the manager.
+// Remove cancels the session, drops it from the manager and deletes its
+// journal: an explicitly removed session does not come back at recovery.
 func (m *Manager) Remove(id string) bool {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
@@ -493,6 +725,7 @@ func (m *Manager) Remove(id string) bool {
 	m.mu.Unlock()
 	if ok {
 		s.Cancel()
+		_ = s.journal.Remove()
 	}
 	return ok
 }

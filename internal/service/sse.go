@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// sseHeartbeat is how often an idle event stream emits a comment line so
+// intermediaries do not reap the connection.
+const sseHeartbeat = 15 * time.Second
+
+// handleSessionEvents streams a session's journal as server-sent events
+// (GET /v1/sessions/{id}/events): one SSE event per journal record, with
+// the record sequence number as the SSE id, the record type as the event
+// name and the payload as the data line. The full history replays first
+// (or everything after Last-Event-ID / ?after=N on reconnect), then the
+// stream follows the journal tail — a client sees the next question the
+// moment the learning loop publishes it, with no polling. The stream ends
+// with the session's terminal done/failed event.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionOr404(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	var after uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.ParseUint(v, 10, 64)
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid after parameter %q", v))
+			return
+		}
+		after = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	ctx := r.Context()
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	journal := sess.Journal()
+	for {
+		// Read Closed before draining: appends never follow a close, so a
+		// close observed here means the coming drain is the final tail
+		// (e.g. the session was deleted without a terminal record).
+		closed := journal.Closed()
+		recs, notify := journal.After(after)
+		for _, rec := range recs {
+			data := rec.Data
+			if len(data) == 0 {
+				data = []byte("{}")
+			}
+			// json.Marshal output never contains raw newlines, so one
+			// data line per event is always well-formed SSE.
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", rec.Seq, rec.Type, data); err != nil {
+				return
+			}
+			after = rec.Seq
+			if rec.Type == recDone || rec.Type == recFailed {
+				flusher.Flush()
+				return
+			}
+		}
+		if len(recs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			return
+		case <-s.shutdown:
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}

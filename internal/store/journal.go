@@ -1,0 +1,274 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one entry of a session journal. Data is an opaque JSON payload
+// owned by the service layer; Seq numbers records from 1 within a journal.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Journal is an append-only record log with an in-memory tail. Every
+// journal keeps its full record list in memory — transcripts are small and
+// bounded by the session retention policy — which is what the SSE endpoint
+// tails and what recovery replays. A journal created by a Store is
+// additionally backed by a JSONL file and fsyncs each append before
+// returning (write-ahead discipline); a journal created by NewMemJournal
+// has the same API with no file, so SSE works identically in in-memory
+// deployments.
+//
+// All methods are safe for concurrent use.
+type Journal struct {
+	mu     sync.Mutex
+	recs   []Record
+	notify chan struct{}
+	file   *os.File
+	path   string
+	m      *metrics
+	closed bool
+}
+
+// NewMemJournal returns a journal with no backing file.
+func NewMemJournal() *Journal {
+	return &Journal{notify: make(chan struct{})}
+}
+
+// journalFile maps a session id to its journal path; ids are path-escaped
+// so an id can never climb out of the sessions directory.
+func (s *Store) journalFile(id string) string {
+	return filepath.Join(s.sessionsDir(), url.PathEscape(id)+".jsonl")
+}
+
+// CreateJournal creates the journal file for a new session. The id must be
+// new: an existing journal is never silently overwritten.
+func (s *Store) CreateJournal(id string) (*Journal, error) {
+	if id == "" {
+		return nil, fmt.Errorf("store: empty journal id")
+	}
+	path := s.journalFile(id)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create journal %s: %w", id, err)
+	}
+	// Make the directory entry durable too, or a power loss could drop
+	// the whole journal file despite every append being fsynced.
+	if err := syncDir(s.sessionsDir()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: create journal %s: %w", id, err)
+	}
+	return &Journal{notify: make(chan struct{}), file: f, path: path, m: &s.m}, nil
+}
+
+// Append marshals v (nil for payload-less records), assigns the next
+// sequence number, makes the record durable (file-backed journals write
+// and fsync before the record becomes visible) and wakes every tailer.
+func (j *Journal) Append(typ string, v any) error {
+	var data json.RawMessage
+	if v != nil {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("store: journal append %s: %w", typ, err)
+		}
+		data = b
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("store: journal %s is closed", j.path)
+	}
+	rec := Record{Seq: uint64(len(j.recs)) + 1, Type: typ, Data: data}
+	if j.file != nil {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: journal append %s: %w", typ, err)
+		}
+		line = append(line, '\n')
+		if _, err := j.file.Write(line); err != nil {
+			return fmt.Errorf("store: journal append %s: %w", typ, err)
+		}
+		start := time.Now()
+		if err := j.file.Sync(); err != nil {
+			return fmt.Errorf("store: journal fsync %s: %w", typ, err)
+		}
+		j.m.fsyncs.Add(1)
+		j.m.fsyncNanos.Add(time.Since(start).Nanoseconds())
+		j.m.journalAppends.Add(1)
+		j.m.journalBytes.Add(int64(len(line)))
+	}
+	j.recs = append(j.recs, rec)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	return nil
+}
+
+// After returns the records with Seq > seq and a channel closed on the
+// next append. The returned slice is a read-only view.
+func (j *Journal) After(seq uint64) ([]Record, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if seq > uint64(len(j.recs)) {
+		seq = uint64(len(j.recs))
+	}
+	return j.recs[seq:], j.notify
+}
+
+// Records returns every record as a read-only view.
+func (j *Journal) Records() []Record {
+	recs, _ := j.After(0)
+	return recs
+}
+
+// Len returns the number of records.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
+
+// Close releases the backing file, keeping the in-memory tail readable.
+// Appending to a closed journal fails, and every tailer parked on the
+// After channel is woken so it can observe Closed. Close is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.closeLocked()
+}
+
+func (j *Journal) closeLocked() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	close(j.notify) // no appends can follow; wake tailers for good
+	if j.file != nil {
+		return j.file.Close()
+	}
+	return nil
+}
+
+// Closed reports whether the journal was closed (or removed). Since no
+// record can be appended afterwards, a tailer that saw Closed *before*
+// draining After has seen the final tail.
+func (j *Journal) Closed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.closed
+}
+
+// Remove closes the journal and deletes its backing file, if any. A
+// removed session leaves no trace for the next recovery.
+func (j *Journal) Remove() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.closeLocked()
+	if j.path != "" {
+		if rmErr := os.Remove(j.path); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+			err = rmErr
+		}
+		if sErr := syncDir(filepath.Dir(j.path)); sErr != nil && err == nil {
+			err = sErr
+		}
+	}
+	return err
+}
+
+// RecoveredSession is one journal found on disk: its id and the journal
+// reopened for appending with the surviving records preloaded, so a
+// resumed session keeps writing where the crashed process stopped.
+type RecoveredSession struct {
+	ID      string
+	Journal *Journal
+}
+
+// RecoverSessions scans the sessions directory and replays every journal,
+// sorted by session id. A journal whose tail is torn (a partial final
+// line, a corrupt record, a sequence gap) is truncated to its longest
+// valid prefix — write-ahead appends make everything after the first bad
+// byte untrustworthy — and counted in TruncatedJournals. Unreadable files
+// abort recovery: the caller should not serve from a half-read store.
+func (s *Store) RecoverSessions() ([]RecoveredSession, error) {
+	entries, err := os.ReadDir(s.sessionsDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: recover sessions: %w", err)
+	}
+	out := make([]RecoveredSession, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		id, err := url.PathUnescape(strings.TrimSuffix(name, ".jsonl"))
+		if err != nil {
+			id = strings.TrimSuffix(name, ".jsonl")
+		}
+		// Recover from the enumerated path, not one rebuilt from the id: a
+		// foreign file whose name is not a PathEscape fixed point would
+		// otherwise be looked up at the wrong path and abort recovery.
+		jr, err := s.recoverJournal(id, filepath.Join(s.sessionsDir(), name))
+		if err != nil {
+			return nil, err
+		}
+		s.m.recoveredSessions.Add(1)
+		out = append(out, RecoveredSession{ID: id, Journal: jr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// recoverJournal replays one journal file, truncates any torn tail and
+// reopens the file for appending.
+func (s *Store) recoverJournal(id, path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: recover journal %s: %w", id, err)
+	}
+	var recs []Record
+	valid := 0 // byte length of the valid prefix
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn final line: the append crashed mid-write
+		}
+		var rec Record
+		if err := json.Unmarshal(data[valid:valid+nl], &rec); err != nil {
+			break
+		}
+		if rec.Seq != uint64(len(recs))+1 {
+			break // sequence gap: records after it cannot be trusted
+		}
+		recs = append(recs, rec)
+		valid += nl + 1
+	}
+	truncated := valid < len(data)
+	if truncated {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, fmt.Errorf("store: truncate journal %s: %w", id, err)
+		}
+		s.m.truncatedJournals.Add(1)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: reopen journal %s: %w", id, err)
+	}
+	// Make the truncation durable before anything is appended after it.
+	if truncated {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: reopen journal %s: %w", id, err)
+		}
+	}
+	return &Journal{notify: make(chan struct{}), recs: recs, file: f, path: path, m: &s.m}, nil
+}

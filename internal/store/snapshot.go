@@ -1,0 +1,153 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// snapshotHeader is the first line of a graph snapshot file. The graph's
+// text serialisation follows; Bytes and CRC32 cover exactly that payload,
+// so any truncation or corruption — including a cut that happens to leave
+// a syntactically valid edge-list prefix — fails the integrity check
+// instead of silently restoring a smaller graph.
+type snapshotHeader struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Bytes int    `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+func (s *Store) snapshotFile(name string) string {
+	return filepath.Join(s.graphsDir(), url.PathEscape(name)+".graph")
+}
+
+// SaveGraph writes (or replaces) the snapshot of a registered graph. The
+// write is atomic: a temp file is fully written and fsynced, then renamed
+// over the final path, so a crash mid-save leaves either the old snapshot
+// or the new one, never a blend.
+func (s *Store) SaveGraph(name string, g *graph.Graph) error {
+	text := []byte(g.Text())
+	header, err := json.Marshal(snapshotHeader{
+		Name:  name,
+		Nodes: g.NumNodes(),
+		Edges: g.NumEdges(),
+		Bytes: len(text),
+		CRC32: crc32.ChecksumIEEE(text),
+	})
+	if err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	payload := append(append(header, '\n'), text...)
+
+	path := s.snapshotFile(name)
+	tmp, err := os.CreateTemp(s.graphsDir(), ".tmp-*.graph")
+	if err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	// Pin the rename itself: without the directory fsync a power loss can
+	// roll the directory entry back to the old (or no) snapshot.
+	if err := syncDir(s.graphsDir()); err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	s.m.snapshotSaves.Add(1)
+	s.m.snapshotBytes.Add(int64(len(payload)))
+	return nil
+}
+
+// DeleteGraph removes the snapshot of an unregistered graph. Deleting a
+// graph that was never persisted is not an error.
+func (s *Store) DeleteGraph(name string) error {
+	if err := os.Remove(s.snapshotFile(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete graph %q: %w", name, err)
+	}
+	if err := syncDir(s.graphsDir()); err != nil {
+		return fmt.Errorf("store: delete graph %q: %w", name, err)
+	}
+	return nil
+}
+
+// RecoveredGraph is one graph snapshot restored from disk.
+type RecoveredGraph struct {
+	Name  string
+	Graph *graph.Graph
+}
+
+// RecoverGraphs loads every intact graph snapshot, sorted by name. A
+// snapshot failing its integrity check (partial write, flipped bytes,
+// header/graph mismatch) is skipped and counted in CorruptSnapshots; the
+// file is left in place for inspection.
+func (s *Store) RecoverGraphs() ([]RecoveredGraph, error) {
+	entries, err := os.ReadDir(s.graphsDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: recover graphs: %w", err)
+	}
+	var out []RecoveredGraph
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".graph") || strings.HasPrefix(name, ".tmp-") {
+			continue
+		}
+		rg, err := loadSnapshot(filepath.Join(s.graphsDir(), name))
+		if err != nil {
+			s.m.corruptSnapshots.Add(1)
+			continue
+		}
+		s.m.recoveredGraphs.Add(1)
+		out = append(out, rg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// loadSnapshot reads and verifies one snapshot file.
+func loadSnapshot(path string) (RecoveredGraph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return RecoveredGraph{}, err
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: missing header", path)
+	}
+	var header snapshotHeader
+	if err := json.Unmarshal(data[:nl], &header); err != nil {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	text := data[nl+1:]
+	if len(text) != header.Bytes || crc32.ChecksumIEEE(text) != header.CRC32 {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: integrity check failed", path)
+	}
+	g, err := graph.ParseText(string(text))
+	if err != nil {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	if g.NumNodes() != header.Nodes || g.NumEdges() != header.Edges {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: graph does not match header", path)
+	}
+	return RecoveredGraph{Name: header.Name, Graph: g}, nil
+}

@@ -1,23 +1,54 @@
 #!/usr/bin/env bash
-# Smoke test for the gpsd service: start the server, load graphs, run one
-# simulated learning session to convergence over HTTP, evaluate a query
-# and read the stats. Used by CI; runnable locally with ./scripts/smoke_gpsd.sh.
+# Smoke test for the gpsd service: start the server durable, load graphs,
+# run one simulated learning session to convergence over HTTP, evaluate a
+# query, read the stats — then SIGTERM the server mid-manual-session and
+# verify that graphs, the finished session and the parked manual session
+# (hypothesis included) all survive the restart, and that the SSE event
+# stream replays the journal. Used by CI; runnable locally with
+# ./scripts/smoke_gpsd.sh.
 set -euo pipefail
 
 ADDR="${GPSD_ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
-BIN="$(mktemp -d)/gpsd"
+WORK="$(mktemp -d)"
+BIN="$WORK/gpsd"
+DATA_DIR="$WORK/data"
+LOG="$WORK/gpsd.log"
+GPSD_PID=""
+
+cleanup() {
+  [ -n "$GPSD_PID" ] && kill "$GPSD_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# start_server [extra flags...] — boots gpsd and fails fast with the
+# server log if it exits or does not become healthy within the budget.
+start_server() {
+  : >"$LOG"
+  "$BIN" -addr "$ADDR" -data-dir "$DATA_DIR" "$@" >>"$LOG" 2>&1 &
+  GPSD_PID=$!
+  for _ in $(seq 1 50); do
+    if ! kill -0 "$GPSD_PID" 2>/dev/null; then
+      echo "gpsd exited during startup; server log:" >&2
+      cat "$LOG" >&2
+      exit 1
+    fi
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "gpsd did not become healthy within 10s; server log:" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+stop_server() {
+  kill -TERM "$GPSD_PID"
+  wait "$GPSD_PID" 2>/dev/null || true
+  GPSD_PID=""
+}
 
 go build -o "$BIN" ./cmd/gpsd
-"$BIN" -addr "$ADDR" -preload demo=figure1 &
-GPSD_PID=$!
-trap 'kill "$GPSD_PID" 2>/dev/null || true' EXIT
-
-for _ in $(seq 1 50); do
-  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
-  sleep 0.2
-done
-curl -fsS "$BASE/healthz" >/dev/null
+start_server -preload demo=figure1
 
 # Evaluate the paper's goal query on the preloaded Figure 1 graph: it must
 # select exactly the four neighbourhoods N1, N2, N4, N6.
@@ -52,5 +83,58 @@ grep -q '"count": 4' /tmp/gpsd_hyp.json
 
 curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats.json
 grep -q '"graphs"' /tmp/gpsd_stats.json
+grep -q '"journal_appends"' /tmp/gpsd_stats.json
+
+# --- Kill-and-restart recovery ---------------------------------------------
+# Park a manual session on its satisfied question (one positive label in),
+# capture its state, SIGTERM the server mid-session and restart from the
+# same data dir: the session list, the parked question and the hypothesis
+# must survive byte-identically.
+MID=$(curl -fsS -X POST "$BASE/v1/sessions" -d '{"graph":"demo","mode":"manual"}' \
+  | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+test -n "$MID"
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "label"' && break
+  sleep 0.1
+done
+curl -fsS -X POST "$BASE/v1/sessions/$MID/label" -d '{"decision":"positive"}' >/dev/null
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
+  sleep 0.1
+done
+curl -fsS "$BASE/v1/sessions/$MID" | tee /tmp/gpsd_manual_before.json
+grep -q '"kind": "satisfied"' /tmp/gpsd_manual_before.json
+curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_before.json
+
+stop_server
+start_server  # no -preload: everything must come back from the store
+
+curl -fsS "$BASE/v1/graphs" | tee /tmp/gpsd_graphs_after.json
+grep -q '"demo"' /tmp/gpsd_graphs_after.json
+grep -q '"tiny"' /tmp/gpsd_graphs_after.json
+
+# The finished simulated session is still listed with its result.
+curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session_after.json
+grep -q '"halt": "user-satisfied"' /tmp/gpsd_session_after.json
+
+# The manual session resumed at its exact pre-crash state.
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
+  sleep 0.1
+done
+curl -fsS "$BASE/v1/sessions/$MID" >/tmp/gpsd_manual_after.json
+diff /tmp/gpsd_manual_before.json /tmp/gpsd_manual_after.json
+curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_after.json
+diff /tmp/gpsd_manual_hyp_before.json /tmp/gpsd_manual_hyp_after.json
+
+# The SSE stream replays the finished session's journal and closes at done.
+curl -fsS "$BASE/v1/sessions/$SID/events" >/tmp/gpsd_events.txt
+grep -q '^event: create' /tmp/gpsd_events.txt
+grep -q '^event: hypothesis' /tmp/gpsd_events.txt
+grep -q '^event: done' /tmp/gpsd_events.txt
+
+# Recovery is visible in the stats.
+curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats_after.json
+grep -q '"sessions_resumed": 1' /tmp/gpsd_stats_after.json
 
 echo "gpsd smoke test passed"
