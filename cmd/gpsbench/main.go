@@ -27,21 +27,42 @@ import (
 
 func main() {
 	var (
-		expList   = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
-		full      = flag.Bool("full", false, "run the full-size configuration instead of the quick one")
-		seed      = flag.Int64("seed", 1, "seed for all pseudo-random choices")
-		csv       = flag.Bool("csv", false, "also print each result table as CSV")
-		list      = flag.Bool("list", false, "list the available experiments and exit")
-		rpqBench  = flag.Bool("rpqbench", false, "run the RPQ evaluation micro-benchmarks and write a JSON summary")
-		rpqOut    = flag.String("rpqbench-out", "BENCH_rpq.json", "output path of the -rpqbench JSON summary")
-		benchCmp  = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on regression")
-		benchBase = flag.String("benchcmp-base", "BENCH_baseline.json", "baseline summary for -benchcmp")
-		benchTol  = flag.Float64("benchcmp-threshold", 0.25, "allowed regression for -benchcmp (0.25 = 25%)")
+		expList    = flag.String("exp", "", "comma-separated experiment ids to run (default: all)")
+		full       = flag.Bool("full", false, "run the full-size configuration instead of the quick one")
+		seed       = flag.Int64("seed", 1, "seed for all pseudo-random choices")
+		csv        = flag.Bool("csv", false, "also print each result table as CSV")
+		list       = flag.Bool("list", false, "list the available experiments and exit")
+		rpqBench   = flag.Bool("rpqbench", false, "run the RPQ evaluation micro-benchmarks and write a JSON summary")
+		rpqOut     = flag.String("rpqbench-out", "BENCH_rpq.json", "output path of the -rpqbench JSON summary")
+		storeBench = flag.Bool("storebench", false, "run the storage-engine benchmarks (appends/sec and recovery, text vs binary, 1 vs 16 sessions) and write a JSON summary")
+		storeOut   = flag.String("storebench-out", "BENCH_store.json", "output path of the -storebench JSON summary")
+		storeIvl   = flag.Duration("storebench-commit-interval", 0, "group-commit batch window for -storebench's binary engine")
+		storeGate  = flag.String("storegate", "", "check this -storebench summary and fail if the binary/text 16-session append speedup is below -storegate-min")
+		storeMin   = flag.Float64("storegate-min", 3, "minimum binary/text 16-session append speedup for -storegate")
+		benchCmp   = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on regression")
+		benchBase  = flag.String("benchcmp-base", "BENCH_baseline.json", "baseline summary for -benchcmp")
+		benchTol   = flag.Float64("benchcmp-threshold", 0.25, "allowed regression for -benchcmp (0.25 = 25%)")
 	)
 	flag.Parse()
 
-	if *benchCmp != "" {
-		if err := runBenchCompare(*benchBase, *benchCmp, *benchTol); err != nil {
+	if *benchCmp != "" || *storeGate != "" {
+		if *benchCmp != "" {
+			if err := runBenchCompare(*benchBase, *benchCmp, *benchTol); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *storeGate != "" {
+			if err := runStoreGate(*storeGate, *storeMin); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *storeBench {
+		if err := runStoreBench(*storeOut, *seed, *storeIvl); err != nil {
 			fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/store"
+)
+
+// Store micro-benchmark harness: -storebench measures the durable layer
+// the way the service loads it — concurrent sessions journaling label
+// traffic — and writes a machine-readable summary so the storage-engine
+// trajectory is tracked across PRs like the RPQ core's.
+//
+// Two axes are measured per engine (text JSONL vs binary segmented log):
+//
+//   - append throughput, 1 session (no batching possible — the group
+//     commit's overhead floor) and 16 concurrent sessions (the paper's
+//     interactive workload shape, where group commit amortises fsyncs);
+//   - recovery wall time for a populated store (16 session journals plus
+//     a 60x60 transport graph snapshot), which the binary engine's
+//     varint-CSR snapshot codec is built to cut.
+//
+// The headline number is speedup_16_sessions: binary appends/sec over
+// text appends/sec at 16 concurrent sessions. The acceptance bar for the
+// group-commit engine is 5x; -storegate enforces a floor in CI.
+
+// labelRecord approximates one journaled label interaction of the
+// learning service (an answer plus bookkeeping), so append sizes are
+// realistic.
+type labelRecord struct {
+	Seq      int    `json:"seq"`
+	Decision string `json:"decision"`
+	Node     string `json:"node"`
+	Learned  string `json:"learned,omitempty"`
+}
+
+type storeAppendRow struct {
+	Engine        string  `json:"engine"`
+	Sessions      int     `json:"sessions"`
+	Appends       int     `json:"appends"`
+	Seconds       float64 `json:"seconds"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	Fsyncs        int64   `json:"fsyncs"`
+	MeanBatch     float64 `json:"group_commit_mean_batch,omitempty"`
+}
+
+type storeRecoveryRow struct {
+	Engine        string  `json:"engine"`
+	Sessions      int     `json:"sessions"`
+	Records       int     `json:"records"`
+	GraphNodes    int     `json:"graph_nodes"`
+	GraphEdges    int     `json:"graph_edges"`
+	SnapshotBytes int64   `json:"snapshot_bytes"`
+	SessionsMs    float64 `json:"recover_sessions_ms"`
+	GraphsMs      float64 `json:"recover_graphs_ms"`
+}
+
+type storeBenchSummary struct {
+	TotalAppends    int                `json:"total_appends"`
+	CommitInterval  string             `json:"commit_interval"`
+	Appends         []storeAppendRow   `json:"appends"`
+	Speedup16       float64            `json:"speedup_16_sessions"`
+	RecoverySpeedup float64            `json:"recovery_speedup"`
+	Recovery        []storeRecoveryRow `json:"recovery"`
+}
+
+const (
+	storeBenchAppends       = 960 // total appends per configuration
+	storeBenchRecoverySess  = 16
+	storeBenchRecoveryRecs  = 60 // records per recovery-benchmark session
+	storeBenchRecoveryGraph = 60 // transport grid side
+)
+
+// measureAppends drives `total` journal appends spread over `sessions`
+// concurrent sessions and reports throughput.
+func measureAppends(kind string, sessions, total int, interval time.Duration) (storeAppendRow, error) {
+	row := storeAppendRow{Engine: kind, Sessions: sessions, Appends: total}
+	dir, err := os.MkdirTemp("", "storebench-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := store.OpenEngine(dir, store.EngineOptions{Kind: kind, CommitInterval: interval})
+	if err != nil {
+		return row, err
+	}
+	defer eng.Close()
+	journals := make([]*store.Journal, sessions)
+	for i := range journals {
+		if journals[i], err = eng.CreateJournal(fmt.Sprintf("s%04d", i+1)); err != nil {
+			return row, err
+		}
+	}
+	per := total / sessions
+	errCh := make(chan error, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for si, jr := range journals {
+		wg.Add(1)
+		go func(si int, jr *store.Journal) {
+			defer wg.Done()
+			for n := 1; n <= per; n++ {
+				rec := labelRecord{Seq: n, Decision: "positive", Node: fmt.Sprintf("n%03d-%03d", si, n)}
+				if n%10 == 0 {
+					rec.Learned = "(tram+bus)*.cinema"
+				}
+				if err := jr.Append("answer", rec); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(si, jr)
+	}
+	wg.Wait()
+	row.Seconds = time.Since(start).Seconds()
+	select {
+	case err := <-errCh:
+		return row, err
+	default:
+	}
+	m := eng.Metrics()
+	row.AppendsPerSec = float64(total) / row.Seconds
+	row.Fsyncs = m.Fsyncs
+	row.MeanBatch = m.MeanBatch
+	return row, nil
+}
+
+// measureRecovery populates one store and times a cold recovery.
+func measureRecovery(kind string, seed int64) (storeRecoveryRow, error) {
+	row := storeRecoveryRow{Engine: kind, Sessions: storeBenchRecoverySess}
+	dir, err := os.MkdirTemp("", "storebench-*")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	eng, err := store.OpenEngine(dir, store.EngineOptions{Kind: kind})
+	if err != nil {
+		return row, err
+	}
+	g := dataset.Transport(dataset.TransportOptions{
+		Rows: storeBenchRecoveryGraph, Cols: storeBenchRecoveryGraph, Seed: seed, FacilityRate: 0.3,
+	})
+	row.GraphNodes, row.GraphEdges = g.NumNodes(), g.NumEdges()
+	if err := eng.SaveGraph("big", g); err != nil {
+		return row, err
+	}
+	for s := 1; s <= storeBenchRecoverySess; s++ {
+		jr, err := eng.CreateJournal(fmt.Sprintf("s%04d", s))
+		if err != nil {
+			return row, err
+		}
+		for n := 1; n <= storeBenchRecoveryRecs; n++ {
+			if err := jr.Append("answer", labelRecord{Seq: n, Decision: "negative", Node: fmt.Sprintf("n%03d", n)}); err != nil {
+				return row, err
+			}
+		}
+		row.Records += storeBenchRecoveryRecs
+	}
+	row.SnapshotBytes = eng.Metrics().SnapshotBytes
+	if err := eng.Close(); err != nil {
+		return row, err
+	}
+
+	cold, err := store.OpenEngine(dir, store.EngineOptions{Kind: kind})
+	if err != nil {
+		return row, err
+	}
+	defer cold.Close()
+	start := time.Now()
+	graphs, err := cold.RecoverGraphs()
+	if err != nil {
+		return row, err
+	}
+	row.GraphsMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	if len(graphs) != 1 || graphs[0].Graph.NumEdges() != row.GraphEdges {
+		return row, fmt.Errorf("storebench: graph did not recover intact")
+	}
+	start = time.Now()
+	sessions, err := cold.RecoverSessions()
+	if err != nil {
+		return row, err
+	}
+	row.SessionsMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	if len(sessions) != storeBenchRecoverySess {
+		return row, fmt.Errorf("storebench: recovered %d sessions, want %d", len(sessions), storeBenchRecoverySess)
+	}
+	return row, nil
+}
+
+// runStoreBench runs the storage-engine benchmarks and writes the JSON
+// summary to outPath.
+func runStoreBench(outPath string, seed int64, interval time.Duration) error {
+	summary := storeBenchSummary{
+		TotalAppends:   storeBenchAppends,
+		CommitInterval: interval.String(),
+	}
+	perSec := map[string]float64{}
+	for _, kind := range []string{store.EngineKindText, store.EngineKindBinary} {
+		for _, sessions := range []int{1, 16} {
+			row, err := measureAppends(kind, sessions, storeBenchAppends, interval)
+			if err != nil {
+				return fmt.Errorf("storebench: %s/%d: %w", kind, sessions, err)
+			}
+			summary.Appends = append(summary.Appends, row)
+			perSec[fmt.Sprintf("%s/%d", kind, sessions)] = row.AppendsPerSec
+			fmt.Printf("append %-6s %2d sessions %10.0f appends/s  %6d fsyncs  mean batch %.1f\n",
+				kind, sessions, row.AppendsPerSec, row.Fsyncs, row.MeanBatch)
+		}
+	}
+	if t := perSec["text/16"]; t > 0 {
+		summary.Speedup16 = perSec["binary/16"] / t
+	}
+	recoveryMs := map[string]float64{}
+	for _, kind := range []string{store.EngineKindText, store.EngineKindBinary} {
+		row, err := measureRecovery(kind, seed)
+		if err != nil {
+			return fmt.Errorf("storebench: recovery %s: %w", kind, err)
+		}
+		summary.Recovery = append(summary.Recovery, row)
+		recoveryMs[kind] = row.GraphsMs + row.SessionsMs
+		fmt.Printf("recover %-6s %4d records + %d-node graph: sessions %.2fms graphs %.2fms (snapshot %d bytes)\n",
+			kind, row.Records, row.GraphNodes, row.SessionsMs, row.GraphsMs, row.SnapshotBytes)
+	}
+	if t := recoveryMs[store.EngineKindText]; t > 0 {
+		summary.RecoverySpeedup = t / recoveryMs[store.EngineKindBinary]
+	}
+	fmt.Printf("16-session append speedup (binary/text): %.1fx; recovery speedup: %.1fx\n",
+		summary.Speedup16, summary.RecoverySpeedup)
+
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storebench: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return fmt.Errorf("storebench: %w", err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// runStoreGate is the regression gate over a -storebench summary: the
+// binary engine must keep its group-commit advantage. The check is a
+// same-machine ratio, so it is robust to absolute runner speed (unlike
+// ns/op comparisons against a checked-in baseline).
+func runStoreGate(path string, minSpeedup float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("storegate: %w", err)
+	}
+	var summary storeBenchSummary
+	if err := json.Unmarshal(data, &summary); err != nil {
+		return fmt.Errorf("storegate: %s: %w", path, err)
+	}
+	if len(summary.Appends) == 0 {
+		return fmt.Errorf("storegate: %s has no append rows", path)
+	}
+	fmt.Printf("storegate: 16-session append speedup %.2fx (floor %.2fx), recovery speedup %.2fx\n",
+		summary.Speedup16, minSpeedup, summary.RecoverySpeedup)
+	if summary.Speedup16 < minSpeedup {
+		return fmt.Errorf("storegate: binary/text 16-session speedup %.2fx is below the %.2fx floor",
+			summary.Speedup16, minSpeedup)
+	}
+	return nil
+}

@@ -11,8 +11,14 @@
 //	gpsd -preload big=transport:30x30     # sized transport grid
 //	gpsd -data-dir /var/lib/gpsd          # durable: snapshots + journals,
 //	                                      # crash recovery resumes sessions
+//	gpsd -data-dir d -store-engine text   # JSONL engine (greppable journals)
+//	gpsd -data-dir d -commit-interval 2ms # widen the group-commit batch window
+//	gpsd -data-dir d -compact             # compact the journal at startup
 //
-// See the README's "Service" section for the API and curl examples.
+// A durable gpsd takes an exclusive LOCK on its data directory, so a
+// second daemon pointed at the same directory fails fast instead of
+// corrupting it. See the README's "Service" and "Storage engines"
+// sections for the API and on-disk layout.
 package main
 
 import (
@@ -53,35 +59,69 @@ func parsePreload(arg string) (name string, spec service.LoadSpec, err error) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		shards   = flag.Int("shards", 0, "evaluation worker-pool size (0 = one per CPU, 1 = sequential)")
-		cacheCap = flag.Int("cache-cap", 0, "per-graph engine-cache capacity (0 = default)")
-		maxSess  = flag.Int("max-sessions", 0, "live session limit (0 = default)")
-		preload  = flag.String("preload", "", "comma-separated name=dataset graphs to register at boot (figure1, transport[:RxC], random[:N], scale-free[:N])")
-		dataDir  = flag.String("data-dir", "", "durable data directory for graph snapshots and session journals (empty = in-memory only)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		shards      = flag.Int("shards", 0, "evaluation worker-pool size (0 = one per CPU, 1 = sequential)")
+		cacheCap    = flag.Int("cache-cap", 0, "per-graph engine-cache capacity (0 = default)")
+		maxSess     = flag.Int("max-sessions", 0, "live session limit (0 = default)")
+		preload     = flag.String("preload", "", "comma-separated name=dataset graphs to register at boot (figure1, transport[:RxC], random[:N], scale-free[:N])")
+		dataDir     = flag.String("data-dir", "", "durable data directory for graph snapshots and session journals (empty = in-memory only)")
+		storeEngine = flag.String("store-engine", store.EngineKindBinary, "storage engine for -data-dir: binary (segmented log, group commit) or text (JSONL, one fsync per append)")
+		commitIvl   = flag.Duration("commit-interval", 0, "binary engine: max extra latency an append may wait to share an fsync (0 = batch only what is already queued)")
+		compact     = flag.Bool("compact", false, "compact the journal at startup (binary engine): drop removed sessions, collapse finished ones, retire dead segments")
 	)
 	flag.Parse()
 
-	var st *store.Store
+	var eng store.Engine
 	if *dataDir != "" {
-		var err error
-		if st, err = store.Open(*dataDir); err != nil {
+		// The lock outlives everything below: it is the first thing taken
+		// and the last thing released, so two daemons can never interleave
+		// writes into one directory.
+		lock, err := store.AcquireLock(*dataDir)
+		if err != nil {
 			log.Fatalf("gpsd: %v", err)
 		}
+		defer func() {
+			if err := lock.Release(); err != nil {
+				log.Printf("gpsd: %v", err)
+			}
+		}()
+		eng, err = store.OpenEngine(*dataDir, store.EngineOptions{
+			Kind:           *storeEngine,
+			CommitInterval: *commitIvl,
+		})
+		if err != nil {
+			log.Fatalf("gpsd: %v", err)
+		}
+		defer eng.Close()
+		if *compact {
+			rep, err := eng.Compact()
+			if err != nil {
+				log.Fatalf("gpsd: compact %s: %v", *dataDir, err)
+			}
+			if rep.Supported {
+				log.Printf("gpsd: compacted %s: %d sessions summarised, %d dropped, %d -> %d segments, %d -> %d bytes",
+					*dataDir, rep.SessionsCompacted, rep.SessionsDropped,
+					rep.SegmentsRetired, rep.SegmentsWritten, rep.BytesBefore, rep.BytesAfter)
+			} else {
+				log.Printf("gpsd: -compact: the %s engine has no compactable journal; nothing to do", eng.EngineName())
+			}
+		}
+	} else if *compact {
+		log.Fatalf("gpsd: -compact requires -data-dir")
 	}
 	srv := service.NewServer(service.Options{
 		EvalWorkers:   *shards,
 		CacheCapacity: *cacheCap,
 		MaxSessions:   *maxSess,
-		Store:         st,
+		Store:         eng,
 	})
-	if st != nil {
+	if eng != nil {
 		rep, err := srv.Recover()
 		if err != nil {
 			log.Fatalf("gpsd: recover %s: %v", *dataDir, err)
 		}
-		log.Printf("gpsd: recovered from %s: %d graphs, %d finished sessions, %d resumed sessions",
-			*dataDir, rep.Graphs, rep.SessionsFinished, rep.SessionsResumed)
+		log.Printf("gpsd: recovered from %s (%s engine): %d graphs, %d finished sessions, %d resumed sessions",
+			*dataDir, eng.EngineName(), rep.Graphs, rep.SessionsFinished, rep.SessionsResumed)
 		for _, skipped := range rep.SessionsSkipped {
 			log.Printf("gpsd: recovery skipped session %s", skipped)
 		}

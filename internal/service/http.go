@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/rpq"
 )
 
 // Server is the JSON/HTTP front-end of the service.
@@ -202,15 +204,54 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		"duration_us": time.Since(started).Microseconds(),
 	}
 	if req.Witnesses {
-		witnesses := make(map[graph.NodeID][]graph.Edge, len(nodes))
-		for _, n := range nodes {
-			if path, ok := engine.Witness(n); ok {
-				witnesses[n] = path
-			}
-		}
-		resp["witnesses"] = witnesses
+		resp["witnesses"] = witnessFanOut(engine, nodes, s.opts.EvalWorkers)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// witnessFanOut computes one shortest witness path per selected node,
+// sharding the per-node searches across the service worker pool. Each
+// rpq.Engine.Witness call is independent (it draws its scratch from a
+// pool), so the fan-out parallelises cleanly; workers claim nodes off an
+// atomic cursor and write into index-aligned slots, and the result map is
+// identical to the sequential loop's.
+func witnessFanOut(engine *rpq.Engine, nodes []graph.NodeID, workers int) map[graph.NodeID][]graph.Edge {
+	out := make(map[graph.NodeID][]graph.Edge, len(nodes))
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		for _, n := range nodes {
+			if path, ok := engine.Witness(n); ok {
+				out[n] = path
+			}
+		}
+		return out
+	}
+	paths := make([][]graph.Edge, len(nodes))
+	found := make([]bool, len(nodes))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(nodes) {
+					return
+				}
+				paths[i], found[i] = engine.Witness(nodes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, n := range nodes {
+		if found[i] {
+			out[n] = paths[i]
+		}
+	}
+	return out
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {

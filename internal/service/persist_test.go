@@ -12,6 +12,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dataset"
+	"repro/internal/regex"
+	"repro/internal/rpq"
 	"repro/internal/store"
 )
 
@@ -22,6 +25,18 @@ func newDurableServer(t *testing.T, dir string) (*Server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	srv := NewServer(Options{EvalWorkers: 1, CacheCapacity: 16, Store: st})
+	return srv, newHTTPServer(t, srv)
+}
+
+// newBinaryServer is newDurableServer on the binary group-commit engine.
+func newBinaryServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	eng, err := store.OpenEngine(dir, store.EngineOptions{Kind: store.EngineKindBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv := NewServer(Options{EvalWorkers: 1, CacheCapacity: 16, Store: eng})
 	return srv, newHTTPServer(t, srv)
 }
 
@@ -512,4 +527,149 @@ func nonEmptyLines(s string) []string {
 		}
 	}
 	return out
+}
+
+// TestManualSessionCrashResumeBinary is the PR 3 crash-resume acceptance
+// test run on the binary engine: a manual session is driven to a
+// hypothesis, the process "dies", and a second server recovering from the
+// same segmented wal must present a byte-identical session view without
+// appending a single duplicate journal record. Run with -race.
+func TestManualSessionCrashResumeBinary(t *testing.T) {
+	dir := t.TempDir()
+	srvA, tsA := newBinaryServer(t, dir)
+	loadFigure1(t, tsA, "demo")
+	var v SessionView
+	if code := do(t, http.MethodPost, tsA.URL+"/v1/sessions", SessionConfig{
+		Graph: "demo", Mode: "manual",
+	}, &v); code != http.StatusCreated {
+		t.Fatalf("create returned %d", code)
+	}
+	id := v.ID
+	waitSession(t, tsA, id, func(v SessionView) bool { return v.Pending != nil })
+	if code := do(t, http.MethodPost, tsA.URL+"/v1/sessions/"+id+"/label",
+		Answer{Decision: "positive"}, nil); code != http.StatusOK {
+		t.Fatalf("label returned %d", code)
+	}
+	want := waitSession(t, tsA, id, func(v SessionView) bool {
+		return v.Pending != nil && v.Pending.Kind == "satisfied"
+	})
+	if want.Learned == "" || want.Labels != 1 {
+		t.Fatalf("pre-crash session has no hypothesis: %+v", want)
+	}
+	sessA, _ := srvA.Manager().Get(id)
+	wantLen := sessA.Journal().Len()
+
+	// "Crash": abandon server A mid-park and recover from the wal.
+	srvB, tsB := newBinaryServer(t, dir)
+	rep, err := srvB.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsResumed != 1 || len(rep.SessionsSkipped) != 0 {
+		t.Fatalf("recovery report %+v, want one resumed session", rep)
+	}
+	got := waitSession(t, tsB, id, func(v SessionView) bool { return v.Pending != nil })
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("resumed session diverged\n  got  %s\n  want %s", gotJSON, wantJSON)
+	}
+	sessB, _ := srvB.Manager().Get(id)
+	if gotLen := sessB.Journal().Len(); gotLen != wantLen {
+		t.Fatalf("resume appended duplicates: journal has %d records, want %d", gotLen, wantLen)
+	}
+
+	// Drive the resumed session to completion to prove the journal still
+	// appends correctly after recovery.
+	no := false
+	do(t, http.MethodPost, tsB.URL+"/v1/sessions/"+id+"/label", Answer{Satisfied: &no}, nil)
+	waitSession(t, tsB, id, func(v SessionView) bool {
+		return v.Pending != nil && v.Pending.Kind == "label"
+	})
+	do(t, http.MethodPost, tsB.URL+"/v1/sessions/"+id+"/label", Answer{Decision: "negative"}, nil)
+	waitSession(t, tsB, id, func(v SessionView) bool {
+		return v.Pending != nil && v.Pending.Kind == "satisfied"
+	})
+	yes := true
+	do(t, http.MethodPost, tsB.URL+"/v1/sessions/"+id+"/label", Answer{Satisfied: &yes}, nil)
+	final := waitSession(t, tsB, id, func(v SessionView) bool { return v.Status == StatusDone })
+	if final.Halt != "user-satisfied" || final.Labels != 2 {
+		t.Fatalf("resumed session finished %+v", final)
+	}
+}
+
+// TestBinaryFinishedSessionSurvivesCompactedRestart finishes a session on
+// the binary engine, compacts the wal at the next boot (as gpsd -compact
+// does) and verifies the session still restores — with its result intact
+// and its SSE stream replaying the compacted summary (create + done).
+func TestBinaryFinishedSessionSurvivesCompactedRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, tsA := newBinaryServer(t, dir)
+	loadFigure1(t, tsA, "demo")
+	var v SessionView
+	if code := do(t, http.MethodPost, tsA.URL+"/v1/sessions", SessionConfig{
+		Graph: "demo", Mode: "simulated", Goal: "(tram+bus)*.cinema",
+	}, &v); code != http.StatusCreated {
+		t.Fatalf("create returned %d", code)
+	}
+	want := waitSession(t, tsA, v.ID, func(v SessionView) bool { return v.Status == StatusDone })
+
+	eng, err := store.OpenEngine(dir, store.EngineOptions{Kind: store.EngineKindBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	rep, err := eng.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsCompacted != 1 {
+		t.Fatalf("compaction report %+v, want one compacted session", rep)
+	}
+	srvB := NewServer(Options{EvalWorkers: 1, CacheCapacity: 16, Store: eng})
+	tsB := newHTTPServer(t, srvB)
+	if _, err := srvB.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	var got SessionView
+	do(t, http.MethodGet, tsB.URL+"/v1/sessions/"+v.ID, nil, &got)
+	if got.Status != StatusDone || got.Halt != want.Halt || got.Learned != want.Learned || got.Labels != want.Labels {
+		t.Fatalf("compacted restore\n  got  %+v\n  want %+v", got, want)
+	}
+	events := sseEvents(t, tsB.URL+"/v1/sessions/"+v.ID+"/events")
+	var names []string
+	for {
+		name := nextEvent(t, events, 10*time.Second)
+		if name == "" {
+			break
+		}
+		names = append(names, name)
+	}
+	if len(names) != 2 || names[0] != "create" || names[1] != "done" {
+		t.Fatalf("compacted SSE replay = %v, want [create done]", names)
+	}
+}
+
+// TestWitnessFanOutMatchesSequential pins the sharded /evaluate witness
+// fan-out to the sequential loop it replaced: same nodes, same witness
+// paths, on a graph large enough to exercise several workers.
+func TestWitnessFanOutMatchesSequential(t *testing.T) {
+	g := dataset.Transport(dataset.TransportOptions{Rows: 14, Cols: 14, Seed: 3, FacilityRate: 0.4})
+	engine := rpq.New(g, regex.MustParse("(tram+bus)*.cinema"))
+	nodes := engine.Selected()
+	if len(nodes) < 16 {
+		t.Fatalf("test graph selects only %d nodes", len(nodes))
+	}
+	sequential := witnessFanOut(engine, nodes, 1)
+	for _, workers := range []int{2, 4, 8, 64} {
+		sharded := witnessFanOut(engine, nodes, workers)
+		if len(sharded) != len(sequential) {
+			t.Fatalf("workers=%d: %d witnesses, want %d", workers, len(sharded), len(sequential))
+		}
+		for n, path := range sequential {
+			if fmt.Sprint(sharded[n]) != fmt.Sprint(path) {
+				t.Fatalf("workers=%d node %s: %v != %v", workers, n, sharded[n], path)
+			}
+		}
+	}
 }

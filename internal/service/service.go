@@ -45,9 +45,11 @@ type Options struct {
 	MaxSessions int
 	// Store, when non-nil, makes the service durable: graph registrations
 	// are snapshotted and session transcripts write-ahead journaled under
-	// the store's data directory. Nil keeps everything in memory (session
+	// the engine's data directory. Any store.Engine works — the JSONL text
+	// engine or the group-commit binary engine; the service only relies on
+	// the write-ahead contract. Nil keeps everything in memory (session
 	// event streams still work off in-memory journals).
-	Store *store.Store
+	Store store.Engine
 }
 
 func (o Options) withDefaults() Options {

@@ -694,8 +694,10 @@ func (m *Manager) launch(s *HostedSession, strat interactive.Strategy, goal *reg
 		}
 		s.mu.Unlock()
 		// Best effort: the terminal record of a session torn down by
-		// Remove may land on an already-removed journal.
-		_ = s.journal.Append(terminal, final)
+		// Remove may land on an already-removed journal. AppendTerminal
+		// lets the engine fsync immediately (no group-commit window) and
+		// mark the session finished for compaction.
+		_ = s.journal.AppendTerminal(terminal, final)
 		_ = s.journal.Close()
 	}()
 }

@@ -1,0 +1,1114 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// The binary engine interleaves every session journal into one segmented
+// log:
+//
+//	<dir>/graphs/<name>.graph     binary varint-CSR graph snapshots
+//	<dir>/wal/seg-00000001.seg    CRC-framed record segments
+//	<dir>/wal.compact, wal.old    transient directories during compaction
+//
+// Each frame is [u32le payload length][u32le payload CRC32][payload]; the
+// payload starts with a flag byte and the session id, then the record:
+//
+//	flag 0  data record        seq, type, JSON payload
+//	flag 1  tombstone          the session was removed; drop its records
+//	flag 2  terminal record    like data, and the session is finished
+//	flag 3  summary            a finished session compacted to one frame
+//
+// All appends funnel through a single group-commit writer goroutine: an
+// append hands its frame over and blocks until the batch it joined is
+// written and fsynced, so the write-ahead guarantee is identical to the
+// text engine's — the record is durable before Append returns — but one
+// fsync covers every append that arrived while the previous one was in
+// flight (plus, optionally, a CommitInterval batching window). Terminal
+// records never wait out the window: they flush the batch immediately, so
+// crash-resume semantics match the per-append-fsync engine.
+//
+// Recovery replays the segments in order. A structurally torn tail (short
+// header, length overrunning the file) in the final segment is truncated
+// exactly like a torn JSONL line; a CRC-failed frame in an earlier
+// segment is skipped and counted, and the per-session sequence check then
+// truncates only the affected session at its first gap.
+
+const (
+	flagData      = 0
+	flagTombstone = 1
+	flagTerminal  = 2
+	flagSummary   = 3
+
+	// frameHeaderSize is the fixed [length][crc] prefix.
+	frameHeaderSize = 8
+	// maxFrameSize bounds a frame's declared payload length; anything
+	// larger is structural corruption, not a record.
+	maxFrameSize = 64 << 20
+
+	defaultSegmentSize = 4 << 20
+)
+
+func segmentPath(walDir string, idx uint64) string {
+	return filepath.Join(walDir, fmt.Sprintf("seg-%08d.seg", idx))
+}
+
+// segmentIndex parses a segment file name, returning ok=false for foreign
+// files.
+func segmentIndex(name string) (uint64, bool) {
+	var idx uint64
+	if n, err := fmt.Sscanf(name, "seg-%d.seg", &idx); n != 1 || err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// appendReq is one append waiting for its group commit.
+type appendReq struct {
+	frame    []byte
+	terminal bool
+	err      chan error
+}
+
+// binaryEngine is the segmented-log implementation of Engine.
+type binaryEngine struct {
+	dir            string
+	commitInterval time.Duration
+	segmentSize    int64
+	m              metrics
+
+	mu sync.Mutex
+	// closed refuses new appends; inflight lets Close wait out the ones
+	// already submitted.
+	closed   bool
+	inflight sync.WaitGroup
+	// started flips on the first append: afterwards the wal may no longer
+	// be rescanned (RecoverSessions) or rewritten (Compact).
+	started bool
+	// journalsActive counts journals handed out; Compact requires zero.
+	journalsActive int
+	// sids tracks every session id ever seen in the wal (including
+	// tombstoned ones), so CreateJournal never reuses an id; scanned
+	// records whether the wal has been read to populate it.
+	sids    map[string]struct{}
+	scanned bool
+
+	reqs chan *appendReq
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	// Writer-goroutine state: the open segment, its size, the index of
+	// the last segment created, and the first unrecoverable write error
+	// (after which every append fails — a half-written batch makes the
+	// segment tail untrustworthy).
+	seg    *os.File
+	segOff int64
+	segErr error
+	// nextSeg is the highest segment index on disk (or created); rotate
+	// reopens that tail once (tailTried) before sealing it and moving on.
+	nextSeg   uint64
+	tailTried bool
+}
+
+// openBinary creates (if needed) and opens a data directory with the
+// binary engine.
+func openBinary(dir string, opts EngineOptions) (*binaryEngine, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	// The wal directory is created only after crash repair: an interrupted
+	// compaction can legitimately leave no wal (mid-swap), and creating an
+	// empty one here would make the repair mistake that state for "wal
+	// intact" and discard the compacted data.
+	for _, d := range []string{dir, filepath.Join(dir, "graphs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	e := &binaryEngine{
+		dir:            dir,
+		commitInterval: opts.CommitInterval,
+		segmentSize:    opts.SegmentSize,
+		sids:           make(map[string]struct{}),
+		reqs:           make(chan *appendReq, 1024),
+		quit:           make(chan struct{}),
+	}
+	if e.segmentSize <= 0 {
+		e.segmentSize = defaultSegmentSize
+	}
+	if err := e.repairCompaction(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(e.walDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	segs, err := e.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) > 0 {
+		e.nextSeg = segs[len(segs)-1].idx
+	}
+	e.wg.Add(1)
+	go e.writer()
+	return e, nil
+}
+
+func (e *binaryEngine) EngineName() string { return EngineKindBinary }
+func (e *binaryEngine) Dir() string        { return e.dir }
+func (e *binaryEngine) Metrics() Metrics   { return e.m.snapshot(EngineKindBinary) }
+
+func (e *binaryEngine) graphsDir() string { return filepath.Join(e.dir, "graphs") }
+func (e *binaryEngine) walDir() string    { return filepath.Join(e.dir, "wal") }
+
+// SaveGraph writes (or replaces) the binary snapshot of a graph.
+func (e *binaryEngine) SaveGraph(name string, g *graph.Graph) error {
+	payload, err := encodeBinarySnapshot(name, g)
+	if err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	if err := writeSnapshotFile(e.graphsDir(), name, payload, &e.m); err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	return nil
+}
+
+// DeleteGraph removes the snapshot of an unregistered graph.
+func (e *binaryEngine) DeleteGraph(name string) error {
+	return deleteGraphSnapshot(e.graphsDir(), name)
+}
+
+// RecoverGraphs loads every intact graph snapshot, sorted by name.
+func (e *binaryEngine) RecoverGraphs() ([]RecoveredGraph, error) {
+	return recoverGraphSnapshots(e.graphsDir(), &e.m)
+}
+
+// Close stops accepting appends, waits for in-flight group commits and
+// shuts the writer down.
+func (e *binaryEngine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.inflight.Wait()
+	close(e.quit)
+	e.wg.Wait()
+	return nil
+}
+
+// submit hands a frame to the group-commit writer and blocks until the
+// batch containing it is durable.
+func (e *binaryEngine) submit(frame []byte, terminal bool) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("store: engine is closed")
+	}
+	e.started = true
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	req := &appendReq{frame: frame, terminal: terminal, err: make(chan error, 1)}
+	e.reqs <- req
+	return <-req.err
+}
+
+// writer is the group-commit goroutine: it owns the open segment and is
+// the only writer of wal bytes after open.
+func (e *binaryEngine) writer() {
+	defer e.wg.Done()
+	defer func() {
+		if e.seg != nil {
+			e.seg.Close()
+		}
+	}()
+	for {
+		var first *appendReq
+		select {
+		case first = <-e.reqs:
+		case <-e.quit:
+			return
+		}
+		batch := e.gather(first)
+		err := e.commit(batch)
+		for _, r := range batch {
+			r.err <- err
+		}
+	}
+}
+
+// gatherYields bounds the adaptive batching loop: how many consecutive
+// empty scheduler yields the writer tolerates before committing. Yields
+// cost well under a microsecond each, so the added latency floor is a few
+// microseconds — invisible next to an fsync — while concurrent appenders
+// that were just woken by the previous commit get enough scheduler turns
+// to join the batch.
+const gatherYields = 64
+
+// gather assembles one commit batch. Everything already queued joins
+// immediately; then the writer either waits out the configured batching
+// window (CommitInterval > 0) or adaptively yields until arrivals stop,
+// which batches near the concurrency level without imposing a fixed
+// latency on light load. A terminal record ends gathering immediately so
+// a session's final fsync is never delayed.
+func (e *binaryEngine) gather(first *appendReq) []*appendReq {
+	batch := []*appendReq{first}
+	terminal := first.terminal
+	drain := func() bool {
+		grew := false
+		for !terminal {
+			select {
+			case r := <-e.reqs:
+				batch = append(batch, r)
+				terminal = r.terminal
+				grew = true
+			default:
+				return grew
+			}
+		}
+		return grew
+	}
+	drain()
+	if terminal {
+		return batch
+	}
+	if e.commitInterval > 0 {
+		timer := time.NewTimer(e.commitInterval)
+		defer timer.Stop()
+		for !terminal {
+			select {
+			case r := <-e.reqs:
+				batch = append(batch, r)
+				terminal = r.terminal
+			case <-timer.C:
+				return batch
+			}
+		}
+		return batch
+	}
+	for idle := 0; idle < gatherYields && !terminal; idle++ {
+		runtime.Gosched()
+		if drain() {
+			idle = 0
+		}
+	}
+	return batch
+}
+
+// commit writes a batch into the current segment and fsyncs once. After
+// the first write or sync failure the engine is poisoned: a half-written
+// batch makes the tail untrustworthy, so every later append fails too.
+func (e *binaryEngine) commit(batch []*appendReq) error {
+	if e.segErr != nil {
+		return e.segErr
+	}
+	var size int64
+	for _, r := range batch {
+		size += int64(len(r.frame))
+	}
+	if e.seg == nil || e.segOff >= e.segmentSize {
+		if err := e.rotate(); err != nil {
+			e.segErr = err
+			return err
+		}
+	}
+	buf := make([]byte, 0, size)
+	for _, r := range batch {
+		buf = append(buf, r.frame...)
+	}
+	if _, err := e.seg.Write(buf); err != nil {
+		e.segErr = fmt.Errorf("store: segment write: %w", err)
+		return e.segErr
+	}
+	start := time.Now()
+	if err := e.seg.Sync(); err != nil {
+		e.segErr = fmt.Errorf("store: segment fsync: %w", err)
+		return e.segErr
+	}
+	e.segOff += size
+	e.m.fsyncs.Add(1)
+	e.m.fsyncNanos.Add(time.Since(start).Nanoseconds())
+	e.m.groupCommits.Add(1)
+	e.m.journalAppends.Add(int64(len(batch)))
+	e.m.journalBytes.Add(size)
+	return nil
+}
+
+// rotate opens the segment the next batch writes into: on the engine's
+// first commit it reopens the existing tail segment for appending if one
+// is there with budget left (restarts do not proliferate near-empty
+// segments), otherwise it seals the current segment and creates the next
+// one. Reopening the tail is safe because every scan path truncates a
+// torn tail before the first append can happen.
+func (e *binaryEngine) rotate() error {
+	if e.seg != nil {
+		if err := e.seg.Close(); err != nil {
+			return fmt.Errorf("store: close segment: %w", err)
+		}
+		e.seg = nil
+	} else if !e.tailTried && e.nextSeg > 0 {
+		e.tailTried = true
+		path := segmentPath(e.walDir(), e.nextSeg)
+		if fi, err := os.Stat(path); err == nil && fi.Size() < e.segmentSize {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("store: reopen segment: %w", err)
+			}
+			e.seg = f
+			e.segOff = fi.Size()
+			return nil
+		}
+	}
+	e.nextSeg++
+	path := segmentPath(e.walDir(), e.nextSeg)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	if err := syncDir(e.walDir()); err != nil {
+		f.Close()
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	e.seg = f
+	e.segOff = 0
+	e.m.segmentsCreated.Add(1)
+	return nil
+}
+
+// --- frame encoding ---------------------------------------------------------
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// encodeFrame wraps a payload in the [length][crc] header.
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, 0, frameHeaderSize+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// encodeRecordPayload builds a data or terminal payload.
+func encodeRecordPayload(flag byte, sid string, rec Record) []byte {
+	buf := make([]byte, 0, 16+len(sid)+len(rec.Type)+len(rec.Data))
+	buf = append(buf, flag)
+	buf = appendString(buf, sid)
+	buf = binary.AppendUvarint(buf, rec.Seq)
+	buf = appendString(buf, rec.Type)
+	return append(buf, rec.Data...)
+}
+
+// encodeTombstonePayload marks a session removed.
+func encodeTombstonePayload(sid string) []byte {
+	buf := make([]byte, 0, 2+len(sid))
+	buf = append(buf, flagTombstone)
+	return appendString(buf, sid)
+}
+
+// encodeSummaryPayload collapses a finished session to one frame.
+func encodeSummaryPayload(sid string, recs []Record) []byte {
+	size := 8 + len(sid)
+	for _, r := range recs {
+		size += 16 + len(r.Type) + len(r.Data)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, flagSummary)
+	buf = appendString(buf, sid)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for _, r := range recs {
+		buf = binary.AppendUvarint(buf, r.Seq)
+		buf = appendString(buf, r.Type)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Data)))
+		buf = append(buf, r.Data...)
+	}
+	return buf
+}
+
+// frameReader decodes payload fields with bounds checking.
+type frameReader struct {
+	data []byte
+	off  int
+}
+
+func (r *frameReader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	r.off += n
+	return v, true
+}
+
+func (r *frameReader) string() (string, bool) {
+	n, ok := r.uvarint()
+	if !ok || n > uint64(len(r.data)-r.off) {
+		return "", false
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, true
+}
+
+func (r *frameReader) bytes(n uint64) ([]byte, bool) {
+	if n > uint64(len(r.data)-r.off) {
+		return nil, false
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, true
+}
+
+// decodedFrame is one parsed wal payload.
+type decodedFrame struct {
+	flag    byte
+	sid     string
+	rec     Record   // data/terminal frames
+	summary []Record // summary frames
+}
+
+// decodePayload parses one frame payload (CRC already checked).
+func decodePayload(payload []byte) (decodedFrame, error) {
+	bad := func() (decodedFrame, error) {
+		return decodedFrame{}, fmt.Errorf("store: malformed frame payload")
+	}
+	if len(payload) == 0 {
+		return bad()
+	}
+	df := decodedFrame{flag: payload[0]}
+	r := &frameReader{data: payload, off: 1}
+	var ok bool
+	if df.sid, ok = r.string(); !ok || df.sid == "" {
+		return bad()
+	}
+	switch df.flag {
+	case flagTombstone:
+		return df, nil
+	case flagData, flagTerminal:
+		seq, ok := r.uvarint()
+		if !ok {
+			return bad()
+		}
+		typ, ok := r.string()
+		if !ok {
+			return bad()
+		}
+		df.rec = Record{Seq: seq, Type: typ}
+		if rest := payload[r.off:]; len(rest) > 0 {
+			df.rec.Data = append([]byte(nil), rest...)
+		}
+		return df, nil
+	case flagSummary:
+		count, ok := r.uvarint()
+		if !ok || count > uint64(len(payload)) {
+			return bad()
+		}
+		df.summary = make([]Record, 0, count)
+		for i := uint64(0); i < count; i++ {
+			seq, ok := r.uvarint()
+			if !ok {
+				return bad()
+			}
+			typ, ok := r.string()
+			if !ok {
+				return bad()
+			}
+			n, ok := r.uvarint()
+			if !ok {
+				return bad()
+			}
+			data, ok := r.bytes(n)
+			if !ok {
+				return bad()
+			}
+			rec := Record{Seq: seq, Type: typ}
+			if len(data) > 0 {
+				rec.Data = append([]byte(nil), data...)
+			}
+			df.summary = append(df.summary, rec)
+		}
+		if r.off != len(payload) {
+			return bad()
+		}
+		return df, nil
+	default:
+		return bad()
+	}
+}
+
+// --- journal backend --------------------------------------------------------
+
+// binaryJournal routes a session's appends to the engine's group-commit
+// writer.
+type binaryJournal struct {
+	e   *binaryEngine
+	sid string
+}
+
+func (bj *binaryJournal) append(rec Record, terminal bool) error {
+	flag := byte(flagData)
+	if terminal {
+		flag = flagTerminal
+	}
+	return bj.e.submit(encodeFrame(encodeRecordPayload(flag, bj.sid, rec)), terminal)
+}
+
+func (bj *binaryJournal) close() error { return nil }
+
+// remove appends a tombstone frame: the session's records stay in their
+// segments until compaction, but recovery drops them.
+func (bj *binaryJournal) remove() error {
+	return bj.e.submit(encodeFrame(encodeTombstonePayload(bj.sid)), true)
+}
+
+// CreateJournal registers a new session id and returns its journal. The
+// id must never have been used in this wal — tombstoned ids included, so
+// a removed session's tombstone can never shadow a live one.
+func (e *binaryEngine) CreateJournal(id string) (*Journal, error) {
+	if id == "" {
+		return nil, fmt.Errorf("store: empty journal id")
+	}
+	if err := e.ensureScanned(); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("store: engine is closed")
+	}
+	if _, dup := e.sids[id]; dup {
+		return nil, fmt.Errorf("store: journal %s already exists", id)
+	}
+	e.sids[id] = struct{}{}
+	e.journalsActive++
+	return &Journal{
+		notify: make(chan struct{}),
+		name:   id,
+		b:      &binaryJournal{e: e, sid: id},
+	}, nil
+}
+
+// ensureScanned populates the known-session-id set on first use, so a
+// server that skips Recover still cannot collide with ids already in the
+// wal (or in legacy text-engine journals sharing the directory). Runs
+// before any append, so repairing a torn tail here is safe.
+func (e *binaryEngine) ensureScanned() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.scanned {
+		return nil
+	}
+	sessions, err := e.scanWal(true)
+	if err != nil {
+		return err
+	}
+	for sid := range sessions {
+		e.sids[sid] = struct{}{}
+	}
+	for _, id := range legacyJournalIDs(e.dir) {
+		e.sids[id] = struct{}{}
+	}
+	e.scanned = true
+	return nil
+}
+
+// legacyJournalIDs lists the session ids of text-engine JSONL journals in
+// the data directory.
+func legacyJournalIDs(dir string) []string {
+	entries, err := os.ReadDir(filepath.Join(dir, "sessions"))
+	if err != nil {
+		return nil
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".jsonl") {
+			continue
+		}
+		id, err := url.PathUnescape(strings.TrimSuffix(name, ".jsonl"))
+		if err != nil {
+			id = strings.TrimSuffix(name, ".jsonl")
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// RecoverSessions replays the wal into per-session journals. A data
+// directory that was previously run with the text engine is migrated in
+// place: its JSONL journals recover alongside the wal sessions (keeping
+// their per-file append path), so switching -store-engine never abandons
+// a session. It must run before the first append: afterwards the writer
+// owns the tail and the scan's torn-tail truncation would race it.
+func (e *binaryEngine) RecoverSessions() ([]RecoveredSession, error) {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("store: recover after appends have started")
+	}
+	sessions, err := e.scanWal(true)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	for sid := range sessions {
+		e.sids[sid] = struct{}{}
+	}
+	out := make([]RecoveredSession, 0, len(sessions))
+	for sid, sc := range sessions {
+		if sc.tombstoned {
+			continue
+		}
+		e.m.recoveredSessions.Add(1)
+		e.journalsActive++
+		out = append(out, RecoveredSession{
+			ID: sid,
+			Journal: &Journal{
+				notify: make(chan struct{}),
+				recs:   sc.recs,
+				name:   sid,
+				b:      &binaryJournal{e: e, sid: sid},
+			},
+		})
+	}
+	legacy, err := recoverSessionDir(filepath.Join(e.dir, "sessions"), &e.m)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	for _, rs := range legacy {
+		if _, dup := e.sids[rs.ID]; dup {
+			// A wal session shadows a same-id legacy journal (possible only
+			// if someone hand-copied files); the wal is authoritative.
+			_ = rs.Journal.Close()
+			continue
+		}
+		e.sids[rs.ID] = struct{}{}
+		e.journalsActive++
+		out = append(out, rs)
+	}
+	e.scanned = true
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// --- wal scanning -----------------------------------------------------------
+
+type segInfo struct {
+	idx  uint64
+	path string
+	size int64
+}
+
+func (e *binaryEngine) listSegments() ([]segInfo, error) {
+	entries, err := os.ReadDir(e.walDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: list segments: %w", err)
+	}
+	segs := make([]segInfo, 0, len(entries))
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		idx, ok := segmentIndex(ent.Name())
+		if !ok {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return nil, fmt.Errorf("store: list segments: %w", err)
+		}
+		segs = append(segs, segInfo{idx: idx, path: filepath.Join(e.walDir(), ent.Name()), size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
+	return segs, nil
+}
+
+// scanSession accumulates one session's surviving state during a scan.
+type scanSession struct {
+	recs       []Record
+	finished   bool
+	tombstoned bool
+	// gapped records that at least one out-of-sequence record was dropped
+	// (for the TruncatedJournals metric, counted once per session).
+	gapped bool
+}
+
+// scanWal replays every segment. With truncate set, a structurally torn
+// tail in the final segment is cut off on disk (and fsynced) exactly like
+// the text engine truncates a torn JSONL line.
+func (e *binaryEngine) scanWal(truncate bool) (map[string]*scanSession, error) {
+	segs, err := e.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	sessions := make(map[string]*scanSession)
+	for si, seg := range segs {
+		last := si == len(segs)-1
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, fmt.Errorf("store: read segment %s: %w", seg.path, err)
+		}
+		off := 0
+		for off < len(data) {
+			frameLen, ok := frameAt(data, off)
+			if !ok {
+				// Structural damage: a short header, an implausible length
+				// or a length overrunning the segment. In the final segment
+				// this is a torn write — truncate it away; in an earlier
+				// (sealed) segment nothing after it can be framed, so the
+				// rest of the segment is skipped and counted.
+				if last && truncate {
+					if err := truncateSegment(seg.path, off); err != nil {
+						return nil, err
+					}
+					e.m.truncatedJournals.Add(1)
+				} else if !last {
+					e.m.corruptFrames.Add(1)
+				} else {
+					e.m.truncatedJournals.Add(1)
+				}
+				break
+			}
+			payload := data[off+frameHeaderSize : off+frameHeaderSize+frameLen]
+			if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4:]) {
+				if last {
+					// A CRC failure at the tail is indistinguishable from a
+					// torn write; stop (and truncate) here.
+					if truncate {
+						if err := truncateSegment(seg.path, off); err != nil {
+							return nil, err
+						}
+					}
+					e.m.truncatedJournals.Add(1)
+					break
+				}
+				// Mid-log bit flip in a sealed segment: the framing is
+				// intact, so skip just this frame. The per-session sequence
+				// check below truncates the affected session at the gap.
+				e.m.corruptFrames.Add(1)
+				off += frameHeaderSize + frameLen
+				continue
+			}
+			df, err := decodePayload(payload)
+			if err != nil {
+				e.m.corruptFrames.Add(1)
+				off += frameHeaderSize + frameLen
+				continue
+			}
+			applyFrame(sessions, df, &e.m)
+			off += frameHeaderSize + frameLen
+		}
+	}
+	return sessions, nil
+}
+
+// frameAt validates the frame header at off and returns the payload
+// length.
+func frameAt(data []byte, off int) (int, bool) {
+	if len(data)-off < frameHeaderSize {
+		return 0, false
+	}
+	frameLen := int(binary.LittleEndian.Uint32(data[off:]))
+	if frameLen > maxFrameSize || off+frameHeaderSize+frameLen > len(data) {
+		return 0, false
+	}
+	return frameLen, true
+}
+
+func truncateSegment(path string, size int) error {
+	if err := os.Truncate(path, int64(size)); err != nil {
+		return fmt.Errorf("store: truncate segment %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: truncate segment %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: truncate segment %s: %w", path, err)
+	}
+	return nil
+}
+
+// applyFrame folds one decoded frame into the scan state.
+func applyFrame(sessions map[string]*scanSession, df decodedFrame, m *metrics) {
+	sc := sessions[df.sid]
+	if sc == nil {
+		sc = &scanSession{}
+		sessions[df.sid] = sc
+	}
+	switch df.flag {
+	case flagTombstone:
+		sc.tombstoned = true
+		sc.recs = nil
+	case flagSummary:
+		if sc.tombstoned {
+			return
+		}
+		sc.recs = df.summary
+		sc.finished = true
+	case flagData, flagTerminal:
+		if sc.tombstoned {
+			return
+		}
+		// A record whose sequence number does not extend the session's
+		// valid prefix is dropped — but only that record, not the session:
+		// after a mid-log frame loss, the resumed session re-journals the
+		// lost records at the correct sequence numbers *behind* the stale
+		// ones, and this rule makes every later scan converge on the same
+		// repaired prefix.
+		if df.rec.Seq != uint64(len(sc.recs))+1 {
+			if !sc.gapped {
+				sc.gapped = true
+				m.truncatedJournals.Add(1)
+			}
+			return
+		}
+		sc.recs = append(sc.recs, df.rec)
+		if df.flag == flagTerminal {
+			sc.finished = true
+		}
+	}
+}
+
+// --- compaction -------------------------------------------------------------
+
+func (e *binaryEngine) compactDir() string { return filepath.Join(e.dir, "wal.compact") }
+func (e *binaryEngine) oldDir() string     { return filepath.Join(e.dir, "wal.old") }
+
+// repairCompaction finishes (or rolls back) a compaction interrupted by a
+// crash, using the invariant that wal.compact is fully written and synced
+// before the first rename:
+//
+//	wal + wal.compact        crash before the swap    → drop wal.compact
+//	wal.compact, no wal      crash mid-swap           → promote wal.compact
+//	wal + wal.old            crash before cleanup     → drop wal.old
+//	wal.old only             (unreachable)            → restore wal.old
+func (e *binaryEngine) repairCompaction() error {
+	exists := func(p string) bool {
+		_, err := os.Stat(p)
+		return err == nil
+	}
+	walExists := exists(e.walDir())
+	switch {
+	case !walExists && exists(e.compactDir()):
+		if err := os.Rename(e.compactDir(), e.walDir()); err != nil {
+			return fmt.Errorf("store: repair compaction: %w", err)
+		}
+		if err := syncDir(e.dir); err != nil {
+			return fmt.Errorf("store: repair compaction: %w", err)
+		}
+	case !walExists && exists(e.oldDir()):
+		if err := os.Rename(e.oldDir(), e.walDir()); err != nil {
+			return fmt.Errorf("store: repair compaction: %w", err)
+		}
+		if err := syncDir(e.dir); err != nil {
+			return fmt.Errorf("store: repair compaction: %w", err)
+		}
+	}
+	for _, leftover := range []string{e.compactDir(), e.oldDir()} {
+		if exists(leftover) {
+			if err := os.RemoveAll(leftover); err != nil {
+				return fmt.Errorf("store: repair compaction: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the wal: tombstoned sessions disappear, finished
+// sessions collapse to one summary frame each, live sessions carry their
+// full record list over, and every old segment is retired. It must run
+// before any journal is created or recovered (gpsd runs it at boot with
+// -compact). The rewrite is crash-safe: the new wal is fully written and
+// fsynced in a side directory, then swapped in with two renames that
+// repairCompaction can always finish or undo.
+func (e *binaryEngine) Compact() (CompactionReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := CompactionReport{Supported: true}
+	if e.closed {
+		return rep, fmt.Errorf("store: engine is closed")
+	}
+	if e.started || e.journalsActive > 0 {
+		return rep, fmt.Errorf("store: compact with %d active journals (compact must run before recovery hands out journals)", e.journalsActive)
+	}
+	sessions, err := e.scanWal(true)
+	if err != nil {
+		return rep, err
+	}
+	segs, err := e.listSegments()
+	if err != nil {
+		return rep, err
+	}
+	for _, s := range segs {
+		rep.BytesBefore += s.size
+	}
+	rep.SegmentsRetired = len(segs)
+
+	// Deterministic rewrite order keeps equivalence tests simple.
+	sids := make([]string, 0, len(sessions))
+	for sid := range sessions {
+		sids = append(sids, sid)
+	}
+	sort.Strings(sids)
+
+	if err := os.RemoveAll(e.compactDir()); err != nil {
+		return rep, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.MkdirAll(e.compactDir(), 0o755); err != nil {
+		return rep, fmt.Errorf("store: compact: %w", err)
+	}
+	cw := &compactWriter{dir: e.compactDir(), limit: e.segmentSize}
+	for _, sid := range sids {
+		sc := sessions[sid]
+		switch {
+		case sc.tombstoned:
+			rep.SessionsDropped++
+		case sc.finished:
+			if err := cw.write(encodeFrame(encodeSummaryPayload(sid, summarizeFinished(sc.recs)))); err != nil {
+				return rep, err
+			}
+			rep.SessionsCompacted++
+		default:
+			for _, rec := range sc.recs {
+				if err := cw.write(encodeFrame(encodeRecordPayload(flagData, sid, rec))); err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+	if err := cw.finish(); err != nil {
+		return rep, err
+	}
+	rep.SegmentsWritten = cw.segments
+	rep.BytesAfter = cw.bytes
+
+	// The swap. wal.compact is durable; two renames move it into place.
+	if err := os.Rename(e.walDir(), e.oldDir()); err != nil {
+		return rep, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(e.compactDir(), e.walDir()); err != nil {
+		return rep, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := syncDir(e.dir); err != nil {
+		return rep, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.RemoveAll(e.oldDir()); err != nil {
+		return rep, fmt.Errorf("store: compact: %w", err)
+	}
+	segs, err = e.listSegments()
+	if err != nil {
+		return rep, err
+	}
+	e.nextSeg = 0
+	if len(segs) > 0 {
+		e.nextSeg = segs[len(segs)-1].idx
+	}
+	// Let the first post-compaction commit append to the compacted tail.
+	e.tailTried = false
+	e.m.compactionRuns.Add(1)
+	e.m.compactedSessions.Add(int64(rep.SessionsCompacted))
+	e.m.retiredSegments.Add(int64(rep.SegmentsRetired))
+	return rep, nil
+}
+
+// summarizeFinished collapses a finished transcript to its opening record
+// and its terminal record, renumbered from 1. The service's record schema
+// opens every journal with a create record and closes a finished one with
+// a done/failed record carrying the final state; the question/answer
+// chatter in between only matters for resuming an *unfinished* session,
+// so a finished session does not need it back.
+func summarizeFinished(recs []Record) []Record {
+	if len(recs) > 2 {
+		recs = []Record{recs[0], recs[len(recs)-1]}
+	}
+	out := make([]Record, len(recs))
+	copy(out, recs)
+	for i := range out {
+		out[i].Seq = uint64(i) + 1
+	}
+	return out
+}
+
+// compactWriter rolls compacted frames into fresh, fsynced segments.
+type compactWriter struct {
+	dir      string
+	limit    int64
+	f        *os.File
+	off      int64
+	idx      uint64
+	segments int
+	bytes    int64
+}
+
+func (w *compactWriter) write(frame []byte) error {
+	if w.f == nil || w.off >= w.limit {
+		if err := w.closeCurrent(); err != nil {
+			return err
+		}
+		w.idx++
+		f, err := os.OpenFile(segmentPath(w.dir, w.idx), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		w.f = f
+		w.off = 0
+		w.segments++
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w.off += int64(len(frame))
+	w.bytes += int64(len(frame))
+	return nil
+}
+
+func (w *compactWriter) closeCurrent() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w.f = nil
+	return nil
+}
+
+func (w *compactWriter) finish() error {
+	if err := w.closeCurrent(); err != nil {
+		return err
+	}
+	if err := syncDir(w.dir); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	return nil
+}
+
+// interface conformance checks.
+var (
+	_ Engine = (*Store)(nil)
+	_ Engine = (*binaryEngine)(nil)
+)

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Lock is an exclusive hold on a data directory, backed by a LOCK file
+// carrying the owner's pid. Two gpsd daemons pointed at the same
+// directory would interleave segment writes and snapshot renames into
+// silent corruption; the lock turns that misconfiguration into a clear
+// startup error.
+//
+// Exclusivity is enforced by flock(2) on the LOCK file, not by the
+// file's existence: the kernel releases the lock the instant the owner
+// dies, so a daemon killed without cleanup leaves only a stale pid note
+// that the next acquirer locks right over — no pid-liveness guessing,
+// and none of the delete/recreate races of remove-and-retry pid files.
+// The pid content is informative (who holds it), written after the lock
+// is won.
+type Lock struct {
+	f    *os.File
+	path string
+}
+
+// ErrLocked reports that another live process holds the data directory.
+var ErrLocked = errors.New("data directory is locked")
+
+// AcquireLock takes the exclusive lock on a data directory, creating the
+// directory (and the LOCK file, O_CREATE) if needed. If another process
+// holds the flock, it returns ErrLocked naming the recorded owner pid. A
+// LOCK file left behind by a dead process is stale by construction — its
+// flock died with it — and is re-acquired silently.
+func AcquireLock(dir string) (*Lock, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	path := filepath.Join(dir, "LOCK")
+	for attempt := 0; attempt < 5; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: lock: %w", err)
+		}
+		if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+			f.Close()
+			if pid, readErr := readLockPid(path); readErr == nil {
+				return nil, fmt.Errorf("store: %w: %s is held by running process %d", ErrLocked, path, pid)
+			}
+			return nil, fmt.Errorf("store: %w: %s is held by another process", ErrLocked, path)
+		}
+		// The previous owner may have unlinked the path between our open
+		// and flock (its Release). We then hold a lock on a dead inode
+		// while a rival creates a fresh LOCK — so verify the path still
+		// names our file, and retry if not.
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: lock: %w", err)
+		}
+		pi, statErr := os.Stat(path)
+		if statErr != nil || !os.SameFile(fi, pi) {
+			f.Close()
+			continue
+		}
+		if err := f.Truncate(0); err == nil {
+			_, err = fmt.Fprintf(f, "%d\n", os.Getpid())
+			if err == nil {
+				err = f.Sync()
+			}
+		} else {
+			f.Close()
+			return nil, fmt.Errorf("store: lock: %w", err)
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: lock: %w", err)
+		}
+		return &Lock{f: f, path: path}, nil
+	}
+	return nil, fmt.Errorf("store: %w: %s keeps changing hands", ErrLocked, path)
+}
+
+// Release drops the lock: the file is unlinked (so a lockless stat sees
+// a clean directory) and the descriptor closed, which releases the
+// flock. A crash without Release leaves the file behind, but its lock
+// dies with the process, so the next AcquireLock wins immediately.
+func (l *Lock) Release() error {
+	rmErr := os.Remove(l.path)
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("store: unlock: %w", err)
+	}
+	if rmErr != nil && !os.IsNotExist(rmErr) {
+		return fmt.Errorf("store: unlock: %w", rmErr)
+	}
+	return nil
+}
+
+// readLockPid parses the owner pid out of a LOCK file.
+func readLockPid(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || pid <= 0 {
+		return 0, fmt.Errorf("store: malformed LOCK file %s", path)
+	}
+	return pid, nil
+}

@@ -1,0 +1,72 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLockExcludesSecondOwner(t *testing.T) {
+	dir := t.TempDir()
+	l, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flock is held per open descriptor, so even a second acquire
+	// from this same process must fail with ErrLocked and name the pid.
+	if _, err := AcquireLock(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second acquire = %v, want ErrLocked", err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	l2.Release()
+}
+
+// TestLockBreaksStale pins the stale-lock path: a LOCK file left behind
+// by a process that died without Release carries no live flock, so the
+// next acquirer wins immediately — no matter what the file says.
+func TestLockBreaksStale(t *testing.T) {
+	for _, content := range []string{"4194000\n", "not a pid", ""} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "LOCK"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := AcquireLock(dir)
+		if err != nil {
+			t.Fatalf("stale lock %q not broken: %v", content, err)
+		}
+		// The pid note now names this process.
+		if pid, err := readLockPid(filepath.Join(dir, "LOCK")); err != nil || pid != os.Getpid() {
+			t.Fatalf("lock pid = %d (%v), want %d", pid, err, os.Getpid())
+		}
+		l.Release()
+	}
+}
+
+// TestLockSurvivesRivalRelease pins the reopen-after-release loop: a
+// lock released while a rival holds an open descriptor to the unlinked
+// inode must not leave two winners.
+func TestLockSurvivesRivalRelease(t *testing.T) {
+	dir := t.TempDir()
+	l, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Release()
+	if _, err := AcquireLock(dir); !errors.Is(err, ErrLocked) {
+		t.Fatalf("acquire against live lock = %v, want ErrLocked", err)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -14,11 +15,25 @@ import (
 	"repro/internal/graph"
 )
 
-// snapshotHeader is the first line of a graph snapshot file. The graph's
-// text serialisation follows; Bytes and CRC32 cover exactly that payload,
-// so any truncation or corruption — including a cut that happens to leave
-// a syntactically valid edge-list prefix — fails the integrity check
-// instead of silently restoring a smaller graph.
+// Graph snapshots come in two payload formats sharing one file extension
+// and one atomic-write path:
+//
+//   - text (written by the text engine): a JSON header line with byte
+//     count and CRC32, followed by the graph's text serialisation;
+//   - binary (written by the binary engine): the "GSNP" magic, a varint
+//     header carrying name/nodes/edges/payload-length plus the payload
+//     CRC32, followed by the graph's varint-CSR encoding (see
+//     graph.EncodeBinary).
+//
+// loadSnapshot dispatches on the leading bytes, so either engine recovers
+// snapshots written by the other: switching -store-engine on an existing
+// data directory keeps every graph.
+
+// snapshotHeader is the first line of a text graph snapshot file. The
+// graph's text serialisation follows; Bytes and CRC32 cover exactly that
+// payload, so any truncation or corruption — including a cut that happens
+// to leave a syntactically valid edge-list prefix — fails the integrity
+// check instead of silently restoring a smaller graph.
 type snapshotHeader struct {
 	Name  string `json:"name"`
 	Nodes int    `json:"nodes"`
@@ -27,15 +42,19 @@ type snapshotHeader struct {
 	CRC32 uint32 `json:"crc32"`
 }
 
-func (s *Store) snapshotFile(name string) string {
-	return filepath.Join(s.graphsDir(), url.PathEscape(name)+".graph")
+// binarySnapshotMagic opens a binary snapshot file.
+var binarySnapshotMagic = []byte{'G', 'S', 'N', 'P', 1}
+
+func snapshotFile(graphsDir, name string) string {
+	return filepath.Join(graphsDir, url.PathEscape(name)+".graph")
 }
 
-// SaveGraph writes (or replaces) the snapshot of a registered graph. The
-// write is atomic: a temp file is fully written and fsynced, then renamed
-// over the final path, so a crash mid-save leaves either the old snapshot
-// or the new one, never a blend.
-func (s *Store) SaveGraph(name string, g *graph.Graph) error {
+func (s *Store) snapshotFile(name string) string {
+	return snapshotFile(s.graphsDir(), name)
+}
+
+// encodeTextSnapshot builds the text snapshot payload.
+func encodeTextSnapshot(name string, g *graph.Graph) ([]byte, error) {
 	text := []byte(g.Text())
 	header, err := json.Marshal(snapshotHeader{
 		Name:  name,
@@ -45,50 +64,86 @@ func (s *Store) SaveGraph(name string, g *graph.Graph) error {
 		CRC32: crc32.ChecksumIEEE(text),
 	})
 	if err != nil {
-		return fmt.Errorf("store: save graph %q: %w", name, err)
+		return nil, err
 	}
-	payload := append(append(header, '\n'), text...)
+	return append(append(header, '\n'), text...), nil
+}
 
-	path := s.snapshotFile(name)
-	tmp, err := os.CreateTemp(s.graphsDir(), ".tmp-*.graph")
+// encodeBinarySnapshot builds the binary snapshot payload.
+func encodeBinarySnapshot(name string, g *graph.Graph) ([]byte, error) {
+	payload := g.EncodeBinary()
+	out := make([]byte, 0, len(payload)+len(name)+64)
+	out = append(out, binarySnapshotMagic...)
+	out = binary.AppendUvarint(out, uint64(len(name)))
+	out = append(out, name...)
+	out = binary.AppendUvarint(out, uint64(g.NumNodes()))
+	out = binary.AppendUvarint(out, uint64(g.NumEdges()))
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...), nil
+}
+
+// writeSnapshotFile writes a snapshot payload atomically: a temp file is
+// fully written and fsynced, then renamed over the final path, so a crash
+// mid-save leaves either the old snapshot or the new one, never a blend.
+func writeSnapshotFile(graphsDir, name string, payload []byte, m *metrics) error {
+	path := snapshotFile(graphsDir, name)
+	tmp, err := os.CreateTemp(graphsDir, ".tmp-*.graph")
 	if err != nil {
-		return fmt.Errorf("store: save graph %q: %w", name, err)
+		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(payload); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: save graph %q: %w", name, err)
+		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("store: save graph %q: %w", name, err)
+		return err
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: save graph %q: %w", name, err)
+		return err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("store: save graph %q: %w", name, err)
+		return err
 	}
 	// Pin the rename itself: without the directory fsync a power loss can
 	// roll the directory entry back to the old (or no) snapshot.
-	if err := syncDir(s.graphsDir()); err != nil {
-		return fmt.Errorf("store: save graph %q: %w", name, err)
+	if err := syncDir(graphsDir); err != nil {
+		return err
 	}
-	s.m.snapshotSaves.Add(1)
-	s.m.snapshotBytes.Add(int64(len(payload)))
+	m.snapshotSaves.Add(1)
+	m.snapshotBytes.Add(int64(len(payload)))
 	return nil
 }
 
-// DeleteGraph removes the snapshot of an unregistered graph. Deleting a
-// graph that was never persisted is not an error.
-func (s *Store) DeleteGraph(name string) error {
-	if err := os.Remove(s.snapshotFile(name)); err != nil && !os.IsNotExist(err) {
+// SaveGraph writes (or replaces) the text snapshot of a registered graph.
+func (s *Store) SaveGraph(name string, g *graph.Graph) error {
+	payload, err := encodeTextSnapshot(name, g)
+	if err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	if err := writeSnapshotFile(s.graphsDir(), name, payload, &s.m); err != nil {
+		return fmt.Errorf("store: save graph %q: %w", name, err)
+	}
+	return nil
+}
+
+// deleteGraphSnapshot removes the snapshot of an unregistered graph.
+// Deleting a graph that was never persisted is not an error.
+func deleteGraphSnapshot(graphsDir, name string) error {
+	if err := os.Remove(snapshotFile(graphsDir, name)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: delete graph %q: %w", name, err)
 	}
-	if err := syncDir(s.graphsDir()); err != nil {
+	if err := syncDir(graphsDir); err != nil {
 		return fmt.Errorf("store: delete graph %q: %w", name, err)
 	}
 	return nil
+}
+
+// DeleteGraph removes the snapshot of an unregistered graph.
+func (s *Store) DeleteGraph(name string) error {
+	return deleteGraphSnapshot(s.graphsDir(), name)
 }
 
 // RecoveredGraph is one graph snapshot restored from disk.
@@ -97,12 +152,12 @@ type RecoveredGraph struct {
 	Graph *graph.Graph
 }
 
-// RecoverGraphs loads every intact graph snapshot, sorted by name. A
-// snapshot failing its integrity check (partial write, flipped bytes,
-// header/graph mismatch) is skipped and counted in CorruptSnapshots; the
-// file is left in place for inspection.
-func (s *Store) RecoverGraphs() ([]RecoveredGraph, error) {
-	entries, err := os.ReadDir(s.graphsDir())
+// recoverGraphSnapshots loads every intact graph snapshot in a directory,
+// sorted by name. A snapshot failing its integrity check (partial write,
+// flipped bytes, header/graph mismatch) is skipped and counted in
+// CorruptSnapshots; the file is left in place for inspection.
+func recoverGraphSnapshots(graphsDir string, m *metrics) ([]RecoveredGraph, error) {
+	entries, err := os.ReadDir(graphsDir)
 	if err != nil {
 		return nil, fmt.Errorf("store: recover graphs: %w", err)
 	}
@@ -112,24 +167,36 @@ func (s *Store) RecoverGraphs() ([]RecoveredGraph, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".graph") || strings.HasPrefix(name, ".tmp-") {
 			continue
 		}
-		rg, err := loadSnapshot(filepath.Join(s.graphsDir(), name))
+		rg, err := loadSnapshot(filepath.Join(graphsDir, name))
 		if err != nil {
-			s.m.corruptSnapshots.Add(1)
+			m.corruptSnapshots.Add(1)
 			continue
 		}
-		s.m.recoveredGraphs.Add(1)
+		m.recoveredGraphs.Add(1)
 		out = append(out, rg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
 }
 
-// loadSnapshot reads and verifies one snapshot file.
+// RecoverGraphs loads every intact graph snapshot, sorted by name.
+func (s *Store) RecoverGraphs() ([]RecoveredGraph, error) {
+	return recoverGraphSnapshots(s.graphsDir(), &s.m)
+}
+
+// loadSnapshot reads and verifies one snapshot file in either format.
 func loadSnapshot(path string) (RecoveredGraph, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return RecoveredGraph{}, err
 	}
+	if bytes.HasPrefix(data, binarySnapshotMagic) {
+		return loadBinarySnapshot(path, data[len(binarySnapshotMagic):])
+	}
+	return loadTextSnapshot(path, data)
+}
+
+func loadTextSnapshot(path string, data []byte) (RecoveredGraph, error) {
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
 		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: missing header", path)
@@ -150,4 +217,39 @@ func loadSnapshot(path string) (RecoveredGraph, error) {
 		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: graph does not match header", path)
 	}
 	return RecoveredGraph{Name: header.Name, Graph: g}, nil
+}
+
+func loadBinarySnapshot(path string, data []byte) (RecoveredGraph, error) {
+	r := bytes.NewReader(data)
+	nameLen, err := binary.ReadUvarint(r)
+	if err != nil || nameLen > uint64(r.Len()) {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: corrupt header", path)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := r.Read(nameBytes); err != nil {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: corrupt header", path)
+	}
+	nodes, err1 := binary.ReadUvarint(r)
+	edges, err2 := binary.ReadUvarint(r)
+	payloadLen, err3 := binary.ReadUvarint(r)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: corrupt header", path)
+	}
+	var crcBytes [4]byte
+	if _, err := r.Read(crcBytes[:]); err != nil {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: corrupt header", path)
+	}
+	payload := data[len(data)-r.Len():]
+	if uint64(len(payload)) != payloadLen ||
+		crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBytes[:]) {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: integrity check failed", path)
+	}
+	g, err := graph.ParseBinary(payload)
+	if err != nil {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: %w", path, err)
+	}
+	if g.NumNodes() != int(nodes) || g.NumEdges() != int(edges) {
+		return RecoveredGraph{}, fmt.Errorf("store: snapshot %s: graph does not match header", path)
+	}
+	return RecoveredGraph{Name: string(nameBytes), Graph: g}, nil
 }

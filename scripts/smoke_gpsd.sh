@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
-# Smoke test for the gpsd service: start the server durable, load graphs,
-# run one simulated learning session to convergence over HTTP, evaluate a
-# query, read the stats — then SIGTERM the server mid-manual-session and
-# verify that graphs, the finished session and the parked manual session
-# (hypothesis included) all survive the restart, and that the SSE event
-# stream replays the journal. Used by CI; runnable locally with
-# ./scripts/smoke_gpsd.sh.
+# Smoke test for the gpsd service, run once per storage engine (binary and
+# text): start the server durable, load graphs, run one simulated learning
+# session to convergence over HTTP, evaluate a query, read the stats —
+# then SIGTERM the server mid-manual-session and verify that graphs, the
+# finished session and the parked manual session (hypothesis included) all
+# survive the restart, and that the SSE event stream replays the journal.
+# Also checks that a second daemon on the same data dir fails fast on the
+# LOCK file, and (binary engine) that a -compact restart keeps the
+# finished session inspectable. Used by CI; runnable locally with
+# ./scripts/smoke_gpsd.sh [engine ...].
 set -euo pipefail
 
 ADDR="${GPSD_ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
 WORK="$(mktemp -d)"
 BIN="$WORK/gpsd"
-DATA_DIR="$WORK/data"
-LOG="$WORK/gpsd.log"
 GPSD_PID=""
+if [ "$#" -gt 0 ]; then ENGINES=("$@"); else ENGINES=(binary text); fi
 
 cleanup() {
   [ -n "$GPSD_PID" ] && kill "$GPSD_PID" 2>/dev/null || true
@@ -25,7 +27,7 @@ trap cleanup EXIT
 # server log if it exits or does not become healthy within the budget.
 start_server() {
   : >"$LOG"
-  "$BIN" -addr "$ADDR" -data-dir "$DATA_DIR" "$@" >>"$LOG" 2>&1 &
+  "$BIN" -addr "$ADDR" -data-dir "$DATA_DIR" -store-engine "$ENGINE" "$@" >>"$LOG" 2>&1 &
   GPSD_PID=$!
   for _ in $(seq 1 50); do
     if ! kill -0 "$GPSD_PID" 2>/dev/null; then
@@ -48,93 +50,139 @@ stop_server() {
 }
 
 go build -o "$BIN" ./cmd/gpsd
-start_server -preload demo=figure1
 
-# Evaluate the paper's goal query on the preloaded Figure 1 graph: it must
-# select exactly the four neighbourhoods N1, N2, N4, N6.
-curl -fsS -X POST "$BASE/v1/graphs/demo/evaluate" \
-  -d '{"query":"(tram+bus)*.cinema","witnesses":true}' | tee /tmp/gpsd_eval.json
-grep -q '"count": 4' /tmp/gpsd_eval.json
+run_engine() {
+  ENGINE="$1"
+  DATA_DIR="$WORK/data-$ENGINE"
+  LOG="$WORK/gpsd-$ENGINE.log"
+  echo "=== smoke: $ENGINE engine ==="
 
-# Load a second graph inline to exercise the text loader.
-curl -fsS -X PUT "$BASE/v1/graphs/tiny" \
-  -d '{"format":"text","data":"edge a tram b\nedge b cinema c\n"}' >/dev/null
+  start_server -preload demo=figure1
 
-# Drive one simulated learning session to convergence.
-SID=$(curl -fsS -X POST "$BASE/v1/sessions" \
-  -d '{"graph":"demo","mode":"simulated","goal":"(tram+bus)*.cinema"}' \
-  | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
-test -n "$SID"
+  # Two daemons must never share a data directory: the second loses the
+  # LOCK race and exits with a clear error instead of corrupting the dir.
+  if "$BIN" -addr 127.0.0.1:18099 -data-dir "$DATA_DIR" -store-engine "$ENGINE" >"$WORK/second.log" 2>&1; then
+    echo "second gpsd on the same data dir must fail" >&2
+    exit 1
+  fi
+  grep -qi "locked" "$WORK/second.log"
 
-STATUS=""
-for _ in $(seq 1 100); do
-  STATUS=$(curl -fsS "$BASE/v1/sessions/$SID" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')
-  [ "$STATUS" = "done" ] && break
-  sleep 0.1
+  # Evaluate the paper's goal query on the preloaded Figure 1 graph: it
+  # must select exactly the four neighbourhoods N1, N2, N4, N6.
+  curl -fsS -X POST "$BASE/v1/graphs/demo/evaluate" \
+    -d '{"query":"(tram+bus)*.cinema","witnesses":true}' | tee /tmp/gpsd_eval.json
+  grep -q '"count": 4' /tmp/gpsd_eval.json
+
+  # Load a second graph inline to exercise the text loader.
+  curl -fsS -X PUT "$BASE/v1/graphs/tiny" \
+    -d '{"format":"text","data":"edge a tram b\nedge b cinema c\n"}' >/dev/null
+
+  # Drive one simulated learning session to convergence.
+  SID=$(curl -fsS -X POST "$BASE/v1/sessions" \
+    -d '{"graph":"demo","mode":"simulated","goal":"(tram+bus)*.cinema"}' \
+    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+  test -n "$SID"
+
+  STATUS=""
+  for _ in $(seq 1 100); do
+    STATUS=$(curl -fsS "$BASE/v1/sessions/$SID" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')
+    [ "$STATUS" = "done" ] && break
+    sleep 0.1
+  done
+  [ "$STATUS" = "done" ]
+
+  curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session.json
+  grep -q '"halt": "user-satisfied"' /tmp/gpsd_session.json
+
+  curl -fsS "$BASE/v1/sessions/$SID/hypothesis" | tee /tmp/gpsd_hyp.json
+  grep -q '"learned"' /tmp/gpsd_hyp.json
+  grep -q '"count": 4' /tmp/gpsd_hyp.json
+
+  curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats.json
+  grep -q '"graphs"' /tmp/gpsd_stats.json
+  grep -q '"journal_appends"' /tmp/gpsd_stats.json
+  grep -q "\"engine\": \"$ENGINE\"" /tmp/gpsd_stats.json
+
+  # --- Kill-and-restart recovery -------------------------------------------
+  # Park a manual session on its satisfied question (one positive label
+  # in), capture its state, SIGTERM the server mid-session and restart
+  # from the same data dir: the session list, the parked question and the
+  # hypothesis must survive byte-identically.
+  MID=$(curl -fsS -X POST "$BASE/v1/sessions" -d '{"graph":"demo","mode":"manual"}' \
+    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+  test -n "$MID"
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "label"' && break
+    sleep 0.1
+  done
+  curl -fsS -X POST "$BASE/v1/sessions/$MID/label" -d '{"decision":"positive"}' >/dev/null
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
+    sleep 0.1
+  done
+  curl -fsS "$BASE/v1/sessions/$MID" | tee /tmp/gpsd_manual_before.json
+  grep -q '"kind": "satisfied"' /tmp/gpsd_manual_before.json
+  curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_before.json
+
+  stop_server
+  start_server # no -preload: everything must come back from the store
+
+  curl -fsS "$BASE/v1/graphs" | tee /tmp/gpsd_graphs_after.json
+  grep -q '"demo"' /tmp/gpsd_graphs_after.json
+  grep -q '"tiny"' /tmp/gpsd_graphs_after.json
+
+  # The finished simulated session is still listed with its result.
+  curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session_after.json
+  grep -q '"halt": "user-satisfied"' /tmp/gpsd_session_after.json
+
+  # The manual session resumed at its exact pre-crash state.
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
+    sleep 0.1
+  done
+  curl -fsS "$BASE/v1/sessions/$MID" >/tmp/gpsd_manual_after.json
+  diff /tmp/gpsd_manual_before.json /tmp/gpsd_manual_after.json
+  curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_after.json
+  diff /tmp/gpsd_manual_hyp_before.json /tmp/gpsd_manual_hyp_after.json
+
+  # The SSE stream replays the finished session's journal and closes at
+  # done.
+  curl -fsS "$BASE/v1/sessions/$SID/events" >/tmp/gpsd_events.txt
+  grep -q '^event: create' /tmp/gpsd_events.txt
+  grep -q '^event: hypothesis' /tmp/gpsd_events.txt
+  grep -q '^event: done' /tmp/gpsd_events.txt
+
+  # Recovery is visible in the stats.
+  curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats_after.json
+  grep -q '"sessions_resumed": 1' /tmp/gpsd_stats_after.json
+
+  if [ "$ENGINE" = "binary" ]; then
+    # --- Compacted restart -------------------------------------------------
+    # A -compact boot rewrites the wal: the finished session collapses to
+    # its summary (create + done) but stays inspectable, and the parked
+    # manual session still resumes.
+    stop_server
+    start_server -compact
+    grep -q 'compacted' "$LOG"
+    curl -fsS "$BASE/v1/sessions/$SID" >/tmp/gpsd_session_compacted.json
+    grep -q '"halt": "user-satisfied"' /tmp/gpsd_session_compacted.json
+    curl -fsS "$BASE/v1/sessions/$SID/events" >/tmp/gpsd_events_compacted.txt
+    grep -q '^event: create' /tmp/gpsd_events_compacted.txt
+    grep -q '^event: done' /tmp/gpsd_events_compacted.txt
+    for _ in $(seq 1 100); do
+      curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
+      sleep 0.1
+    done
+    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"'
+    curl -fsS "$BASE/v1/stats" | grep -q '"compaction_runs": 1'
+  fi
+
+  stop_server
+  echo "=== smoke: $ENGINE engine passed ==="
+}
+
+for engine in "${ENGINES[@]}"; do
+  run_engine "$engine"
 done
-[ "$STATUS" = "done" ]
-
-curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session.json
-grep -q '"halt": "user-satisfied"' /tmp/gpsd_session.json
-
-curl -fsS "$BASE/v1/sessions/$SID/hypothesis" | tee /tmp/gpsd_hyp.json
-grep -q '"learned"' /tmp/gpsd_hyp.json
-grep -q '"count": 4' /tmp/gpsd_hyp.json
-
-curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats.json
-grep -q '"graphs"' /tmp/gpsd_stats.json
-grep -q '"journal_appends"' /tmp/gpsd_stats.json
-
-# --- Kill-and-restart recovery ---------------------------------------------
-# Park a manual session on its satisfied question (one positive label in),
-# capture its state, SIGTERM the server mid-session and restart from the
-# same data dir: the session list, the parked question and the hypothesis
-# must survive byte-identically.
-MID=$(curl -fsS -X POST "$BASE/v1/sessions" -d '{"graph":"demo","mode":"manual"}' \
-  | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
-test -n "$MID"
-for _ in $(seq 1 100); do
-  curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "label"' && break
-  sleep 0.1
-done
-curl -fsS -X POST "$BASE/v1/sessions/$MID/label" -d '{"decision":"positive"}' >/dev/null
-for _ in $(seq 1 100); do
-  curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
-  sleep 0.1
-done
-curl -fsS "$BASE/v1/sessions/$MID" | tee /tmp/gpsd_manual_before.json
-grep -q '"kind": "satisfied"' /tmp/gpsd_manual_before.json
-curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_before.json
-
-stop_server
-start_server  # no -preload: everything must come back from the store
-
-curl -fsS "$BASE/v1/graphs" | tee /tmp/gpsd_graphs_after.json
-grep -q '"demo"' /tmp/gpsd_graphs_after.json
-grep -q '"tiny"' /tmp/gpsd_graphs_after.json
-
-# The finished simulated session is still listed with its result.
-curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session_after.json
-grep -q '"halt": "user-satisfied"' /tmp/gpsd_session_after.json
-
-# The manual session resumed at its exact pre-crash state.
-for _ in $(seq 1 100); do
-  curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
-  sleep 0.1
-done
-curl -fsS "$BASE/v1/sessions/$MID" >/tmp/gpsd_manual_after.json
-diff /tmp/gpsd_manual_before.json /tmp/gpsd_manual_after.json
-curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_after.json
-diff /tmp/gpsd_manual_hyp_before.json /tmp/gpsd_manual_hyp_after.json
-
-# The SSE stream replays the finished session's journal and closes at done.
-curl -fsS "$BASE/v1/sessions/$SID/events" >/tmp/gpsd_events.txt
-grep -q '^event: create' /tmp/gpsd_events.txt
-grep -q '^event: hypothesis' /tmp/gpsd_events.txt
-grep -q '^event: done' /tmp/gpsd_events.txt
-
-# Recovery is visible in the stats.
-curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats_after.json
-grep -q '"sessions_resumed": 1' /tmp/gpsd_stats_after.json
 
 echo "gpsd smoke test passed"
