@@ -295,3 +295,64 @@ func BenchmarkInteractiveSession(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLearnTransportReference is BenchmarkLearnTransport forced onto
+// the map-based reference generalization path (the equivalence oracle),
+// against which the dense engine's speedup is gated in CI (see gpsbench
+// -learnbench / -learngate).
+func BenchmarkLearnTransportReference(b *testing.B) {
+	g := benchTransport(b, 6)
+	goal := regex.MustParse("(tram+bus)*.cinema")
+	engine := rpq.New(g, goal)
+	sample := learn.NewSample()
+	posSeen, negSeen := 0, 0
+	for _, n := range g.Nodes() {
+		if engine.Selects(n) && posSeen < 4 {
+			if w, ok := user.WitnessWord(g, goal, n, 6); ok {
+				sample.AddPositive(n, w)
+				posSeen++
+			}
+		} else if !engine.Selects(n) && negSeen < 4 {
+			sample.AddNegative(n)
+			negSeen++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := learn.Learn(g, sample, learn.Options{MaxPathLength: 6, Reference: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLearnMergeCheck measures the steady-state candidate-merge check
+// of the dense generalization engine in isolation. The merge fold runs it
+// O(n²) times per Learn call; it must report 0 allocs/op.
+func BenchmarkLearnMergeCheck(b *testing.B) {
+	g := benchTransport(b, 10)
+	sample := learn.NewSample()
+	goal := regex.MustParse("(tram+bus)*.cinema")
+	engine := rpq.New(g, goal)
+	posSeen, negSeen := 0, 0
+	for _, n := range g.Nodes() {
+		if engine.Selects(n) && posSeen < 6 {
+			if w, ok := user.WitnessWord(g, goal, n, 6); ok {
+				sample.AddPositive(n, w)
+				posSeen++
+			}
+		} else if !engine.Selects(n) && negSeen < 6 {
+			sample.AddNegative(n)
+			negSeen++
+		}
+	}
+	check, err := learn.NewMergeCheck(g, sample, learn.Options{MaxPathLength: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	check.Run() // warm-up grows the pooled scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		check.Run()
+	}
+}

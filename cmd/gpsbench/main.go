@@ -13,6 +13,8 @@
 //	gpsbench -list        # list experiment identifiers
 //	gpsbench -rpqbench    # RPQ micro-benchmarks -> BENCH_rpq.json
 //	gpsbench -benchcmp BENCH_rpq.json   # regression gate vs BENCH_baseline.json
+//	gpsbench -learnbench  # learner benchmarks -> BENCH_learn.json
+//	gpsbench -learngate BENCH_learn.json  # dense-vs-reference speedup gate
 package main
 
 import (
@@ -39,13 +41,17 @@ func main() {
 		storeIvl   = flag.Duration("storebench-commit-interval", 0, "group-commit batch window for -storebench's binary engine")
 		storeGate  = flag.String("storegate", "", "check this -storebench summary and fail if the binary/text 16-session append speedup is below -storegate-min")
 		storeMin   = flag.Float64("storegate-min", 3, "minimum binary/text 16-session append speedup for -storegate")
+		learnBench = flag.Bool("learnbench", false, "run the learner benchmarks (dense vs reference generalization on the transport graphs, merge-check allocations, session convergence) and write a JSON summary")
+		learnOut   = flag.String("learnbench-out", "BENCH_learn.json", "output path of the -learnbench JSON summary")
+		learnGate  = flag.String("learngate", "", "check this -learnbench summary and fail if the dense/reference 60x60 Learn speedup is below -learngate-min or the merge check allocates")
+		learnMin   = flag.Float64("learngate-min", 3, "minimum dense/reference 60x60 Learn speedup for -learngate")
 		benchCmp   = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on regression")
 		benchBase  = flag.String("benchcmp-base", "BENCH_baseline.json", "baseline summary for -benchcmp")
 		benchTol   = flag.Float64("benchcmp-threshold", 0.25, "allowed regression for -benchcmp (0.25 = 25%)")
 	)
 	flag.Parse()
 
-	if *benchCmp != "" || *storeGate != "" {
+	if *benchCmp != "" || *storeGate != "" || *learnGate != "" {
 		if *benchCmp != "" {
 			if err := runBenchCompare(*benchBase, *benchCmp, *benchTol); err != nil {
 				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
@@ -57,6 +63,20 @@ func main() {
 				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		if *learnGate != "" {
+			if err := runLearnGate(*learnGate, *learnMin); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *learnBench {
+		if err := runLearnBench(*learnOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

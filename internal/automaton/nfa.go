@@ -342,7 +342,16 @@ func (n *NFA) Quotient(partition map[State]State) *NFA {
 		blockOf[r] = b
 		return b
 	}
+	// Number every block up front — the start state's first, then in
+	// first-touch order over ascending states — so the numbering does not
+	// depend on the map-iteration order of the transition labels below.
+	// Quotients are therefore deterministic for a given partition, which
+	// the learner's "byte-identical at any Parallelism" guarantee (and the
+	// service's deterministic crash-resume replay) relies on.
 	q.start = getBlock(n.start)
+	for s := State(0); s < State(n.numStates); s++ {
+		getBlock(s)
+	}
 	for s := State(0); s < State(n.numStates); s++ {
 		b := getBlock(s)
 		if n.accepting[s] {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/learn"
@@ -133,6 +135,14 @@ type Session struct {
 	// cache memoises evaluated query engines across the whole session; the
 	// cache-aware strategies keep probing the same hypothesis queries.
 	cache *rpq.EngineCache
+	// cov caches the covered-word set of the current negatives at the
+	// learner's path-length bound. Pruning and the coverage-aware
+	// strategies probe it every round, but it only changes when a new
+	// negative label arrives (or the graph mutates), so rounds that add
+	// positive labels reuse it as-is.
+	cov        *paths.Coverage
+	covNegs    int
+	covVersion uint64
 }
 
 // NewSession prepares a session on the graph for the given user.
@@ -152,7 +162,32 @@ func NewSession(g *graph.Graph, u user.User, opts Options) *Session {
 	if ca, ok := s.opts.Strategy.(CacheAware); ok {
 		ca.SetCache(s.cache)
 	}
+	if ca, ok := s.opts.Strategy.(CoverageAware); ok {
+		ca.SetCoverageSource(s.coverageAt)
+	}
 	return s
+}
+
+// negCoverage returns the covered-word set of the current negatives at the
+// learner's path-length bound, rebuilding it only when the negative set or
+// the graph changed since the last probe.
+func (s *Session) negCoverage() *paths.Coverage {
+	if s.cov == nil || s.covNegs != len(s.sample.Negatives) || s.covVersion != s.g.Version() {
+		s.cov = paths.NewCoverage(s.g, s.sample.Negatives, s.opts.Learn.MaxPathLength)
+		s.covNegs = len(s.sample.Negatives)
+		s.covVersion = s.g.Version()
+	}
+	return s.cov
+}
+
+// coverageAt is the CoverageSource handed to coverage-aware strategies: at
+// the session's own bound it serves the cached round-to-round coverage, at
+// any other bound it builds a fresh one.
+func (s *Session) coverageAt(bound int) *paths.Coverage {
+	if bound == s.opts.Learn.MaxPathLength {
+		return s.negCoverage()
+	}
+	return paths.NewCoverage(s.g, s.sample.Negatives, bound)
 }
 
 // Run executes the interactive loop until a halt condition fires and
@@ -300,7 +335,7 @@ func (s *Session) interact(ctx context.Context, node graph.NodeID) (*Interaction
 // word, or nil when the user's choice cannot be used (the learner then
 // picks a witness itself).
 func (s *Session) validatePath(node graph.NodeID, radius int) []string {
-	words := paths.UncoveredWords(s.g, node, s.sample.Negatives, radius)
+	words := paths.UncoveredWordsWith(s.g, node, radius, s.coverageAt(radius))
 	if len(words) == 0 {
 		return nil
 	}
@@ -342,15 +377,55 @@ func (s *Session) propagatePositive(word []string) int {
 
 // prune marks unlabelled nodes all of whose bounded-length words are
 // covered by the negative examples and returns how many new nodes were
-// pruned.
+// pruned. The per-node CountUncoveredWith scan is the expensive part —
+// every candidate node re-enumerates its bounded words — so it is sharded
+// across the learner's worker pool: workers claim nodes off an atomic
+// cursor and record verdicts into index-aligned slots, which keeps the
+// pruned set (and hence the whole session transcript) identical to the
+// sequential scan at any Parallelism.
 func (s *Session) prune() int {
-	cov := paths.NewCoverage(s.g, s.sample.Negatives, s.opts.Learn.MaxPathLength)
-	count := 0
+	cov := s.negCoverage()
+	bound := s.opts.Learn.MaxPathLength
+	candidates := make([]graph.NodeID, 0, s.g.NumNodes())
 	for _, id := range s.g.Nodes() {
 		if s.sample.Labeled(id) || s.pruned[id] {
 			continue
 		}
-		if paths.CountUncoveredWith(s.g, id, s.opts.Learn.MaxPathLength, cov) == 0 {
+		candidates = append(candidates, id)
+	}
+	workers := s.opts.Learn.WorkerCount()
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	count := 0
+	if workers <= 1 {
+		for _, id := range candidates {
+			if paths.CountUncoveredWith(s.g, id, bound, cov) == 0 {
+				s.pruned[id] = true
+				count++
+			}
+		}
+		return count
+	}
+	uninformative := make([]bool, len(candidates))
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(candidates) {
+					return
+				}
+				uninformative[i] = paths.CountUncoveredWith(s.g, candidates[i], bound, cov) == 0
+			}
+		}()
+	}
+	wg.Wait()
+	for i, id := range candidates {
+		if uninformative[i] {
 			s.pruned[id] = true
 			count++
 		}

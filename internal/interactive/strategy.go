@@ -73,10 +73,15 @@ type InformativeStrategy struct {
 	// MaxPathLength is the path-length bound; zero means
 	// learn.DefaultMaxPathLength.
 	MaxPathLength int
+
+	coverage CoverageSource
 }
 
 // Name implements Strategy.
 func (s *InformativeStrategy) Name() string { return "informative" }
+
+// SetCoverageSource implements CoverageAware.
+func (s *InformativeStrategy) SetCoverageSource(src CoverageSource) { s.coverage = src }
 
 // Propose implements Strategy.
 func (s *InformativeStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
@@ -84,7 +89,7 @@ func (s *InformativeStrategy) Propose(g *graph.Graph, sample *learn.Sample, excl
 	if bound <= 0 {
 		bound = learn.DefaultMaxPathLength
 	}
-	cov := paths.NewCoverage(g, sample.Negatives, bound)
+	cov := coverageFrom(s.coverage, g, sample.Negatives, bound)
 	best := graph.NodeID("")
 	bestCount := 0
 	for _, id := range candidateNodes(g, sample, excluded) {
@@ -117,6 +122,7 @@ type DisagreementStrategy struct {
 
 	hypothesis *regex.Expr
 	cache      *rpq.EngineCache
+	coverage   CoverageSource
 }
 
 // Name implements Strategy.
@@ -129,13 +135,16 @@ func (s *DisagreementStrategy) SetHypothesis(q *regex.Expr) { s.hypothesis = q }
 // that re-probing an unchanged hypothesis costs one map lookup.
 func (s *DisagreementStrategy) SetCache(c *rpq.EngineCache) { s.cache = c }
 
+// SetCoverageSource implements CoverageAware.
+func (s *DisagreementStrategy) SetCoverageSource(src CoverageSource) { s.coverage = src }
+
 // Propose implements Strategy.
 func (s *DisagreementStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
 	bound := s.MaxPathLength
 	if bound <= 0 {
 		bound = learn.DefaultMaxPathLength
 	}
-	cov := paths.NewCoverage(g, sample.Negatives, bound)
+	cov := coverageFrom(s.coverage, g, sample.Negatives, bound)
 	candidates := candidateNodes(g, sample, excluded)
 	counts := make(map[graph.NodeID]int, len(candidates))
 	maxCount := 0
@@ -204,6 +213,30 @@ type HypothesisAware interface {
 	SetHypothesis(q *regex.Expr)
 }
 
+// CoverageSource supplies the covered-word set of the current negative
+// examples at the given path-length bound. The session implements it with
+// a cache that survives across rounds (negatives only change on negative
+// labels), so strategies that probe coverage on every proposal stop
+// re-walking the graph for rounds that added positive labels.
+type CoverageSource func(bound int) *paths.Coverage
+
+// CoverageAware is implemented by strategies that test nodes against the
+// negatives' covered words and want to share the session's cached
+// coverage; the session calls SetCoverageSource once at start-up.
+type CoverageAware interface {
+	SetCoverageSource(src CoverageSource)
+}
+
+// coverageFrom resolves a strategy's coverage: through the session's
+// shared source when wired, else built fresh (the stand-alone path used by
+// the static scenario and direct strategy calls).
+func coverageFrom(src CoverageSource, g *graph.Graph, negatives []graph.NodeID, bound int) *paths.Coverage {
+	if src != nil {
+		return src(bound)
+	}
+	return paths.NewCoverage(g, negatives, bound)
+}
+
 // CacheAware is implemented by strategies that evaluate queries and want to
 // share the session's engine cache; the session calls SetCache once at
 // start-up.
@@ -222,10 +255,15 @@ type HybridStrategy struct {
 	// TopK is how many highest-out-degree candidates are scored exactly.
 	// Zero means 8.
 	TopK int
+
+	coverage CoverageSource
 }
 
 // Name implements Strategy.
 func (s *HybridStrategy) Name() string { return "hybrid" }
+
+// SetCoverageSource implements CoverageAware.
+func (s *HybridStrategy) SetCoverageSource(src CoverageSource) { s.coverage = src }
 
 // Propose implements Strategy.
 func (s *HybridStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded map[graph.NodeID]bool) (graph.NodeID, bool) {
@@ -251,7 +289,7 @@ func (s *HybridStrategy) Propose(g *graph.Graph, sample *learn.Sample, excluded 
 	if len(candidates) > topK {
 		candidates = candidates[:topK]
 	}
-	cov := paths.NewCoverage(g, sample.Negatives, bound)
+	cov := coverageFrom(s.coverage, g, sample.Negatives, bound)
 	best := graph.NodeID("")
 	bestCount := 0
 	for _, id := range candidates {

@@ -17,6 +17,7 @@ package learn
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -71,10 +72,17 @@ type Options struct {
 	// 8); 1 forces sequential checking. The learned query is identical at
 	// any setting: candidates are still chosen in the sequential order.
 	Parallelism int
+	// Reference forces the original map-based generalization path (copied
+	// partition maps, a fresh NFA quotient per candidate, map-keyed product
+	// search). It is kept as the equivalence oracle for the dense engine:
+	// the randomized equivalence tests and the -learngate benchmark gate
+	// pin the dense path against it. The learned query, the Witnesses map
+	// and the Merges/CandidateMerges counters are identical on both paths.
+	Reference bool
 }
 
-// workerCount resolves the Parallelism option to a concrete pool size.
-func (o Options) workerCount() int {
+// WorkerCount resolves the Parallelism option to a concrete pool size.
+func (o Options) WorkerCount() int {
 	if o.Parallelism > 0 {
 		return o.Parallelism
 	}
@@ -204,36 +212,12 @@ func Learn(g *graph.Graph, sample *Sample, opts Options) (*Result, error) {
 		}, nil
 	}
 
-	// Step 1: one uncovered witness word per positive example.
-	witnesses := make(map[graph.NodeID][]string, len(sample.Positives))
-	for _, node := range sample.PositiveNodes() {
-		word := sample.Positives[node]
-		if word == nil {
-			w, ok := chooseWitness(g, node, sample.Negatives, opts)
-			if !ok {
-				return nil, fmt.Errorf("%w: every path of positive %s (length <= %d) is covered by a negative example",
-					ErrInconsistent, node, opts.MaxPathLength)
-			}
-			word = w
-		} else {
-			// A validated word must itself be a path of the node and must
-			// not be covered; otherwise the sample is inconsistent.
-			if !paths.HasWord(g, node, word) {
-				return nil, fmt.Errorf("%w: validated path %v is not a path of %s", ErrInconsistent, word, node)
-			}
-			if paths.Covered(g, word, sample.Negatives) {
-				return nil, fmt.Errorf("%w: validated path %v of %s is covered by a negative example", ErrInconsistent, word, node)
-			}
-		}
-		witnesses[node] = word
+	// Step 1: one uncovered witness word per positive example, folded into
+	// a prefix-tree automaton.
+	pta, witnesses, err := buildPTA(g, sample, opts)
+	if err != nil {
+		return nil, err
 	}
-
-	// Step 2: prefix-tree automaton + state-merging generalisation.
-	words := make([][]string, 0, len(witnesses))
-	for _, node := range sortedKeys(witnesses) {
-		words = append(words, witnesses[node])
-	}
-	pta := automaton.FromWords(words)
 	result := &Result{Witnesses: witnesses}
 	nfa := pta
 	if !opts.DisableGeneralization {
@@ -242,6 +226,38 @@ func Learn(g *graph.Graph, sample *Sample, opts Options) (*Result, error) {
 	result.Automaton = nfa
 	result.Query = nfa.ToRegex()
 	return result, nil
+}
+
+// buildPTA runs step 1 (witness selection and validation) and folds the
+// witness words into the prefix-tree automaton that step 2 generalises.
+func buildPTA(g *graph.Graph, sample *Sample, opts Options) (*automaton.NFA, map[graph.NodeID][]string, error) {
+	witnesses := make(map[graph.NodeID][]string, len(sample.Positives))
+	for _, node := range sample.PositiveNodes() {
+		word := sample.Positives[node]
+		if word == nil {
+			w, ok := chooseWitness(g, node, sample.Negatives, opts)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: every path of positive %s (length <= %d) is covered by a negative example",
+					ErrInconsistent, node, opts.MaxPathLength)
+			}
+			word = w
+		} else {
+			// A validated word must itself be a path of the node and must
+			// not be covered; otherwise the sample is inconsistent.
+			if !paths.HasWord(g, node, word) {
+				return nil, nil, fmt.Errorf("%w: validated path %v is not a path of %s", ErrInconsistent, word, node)
+			}
+			if paths.Covered(g, word, sample.Negatives) {
+				return nil, nil, fmt.Errorf("%w: validated path %v of %s is covered by a negative example", ErrInconsistent, word, node)
+			}
+		}
+		witnesses[node] = word
+	}
+	words := make([][]string, 0, len(witnesses))
+	for _, node := range sortedKeys(witnesses) {
+		words = append(words, witnesses[node])
+	}
+	return automaton.FromWords(words), witnesses, nil
 }
 
 func sortedKeys(m map[graph.NodeID][]string) []graph.NodeID {
@@ -280,17 +296,47 @@ func chooseWitness(g *graph.Graph, node graph.NodeID, negatives []graph.NodeID, 
 // (still unmerged) state i for which the merged automaton stays consistent,
 // the usual RPNI-style folding order. The evidence-weighted order instead
 // tries earlier states with more outgoing evidence first.
-// Candidate merges for one state are independent of each other (each is a
-// fresh quotient of the PTA checked against the negatives), so they are
+// Candidate merges for one state are independent of each other, so they are
 // evaluated concurrently in chunks of the worker-pool size. The chunk
 // results are then scanned in sequential order and the first consistent
 // candidate wins, which makes the outcome — and the CandidateMerges counter
 // — identical to the sequential RPNI-style fold.
+//
+// Two implementations share this contract. The dense engine (dense.go)
+// represents the partition as a union-find array and checks each candidate
+// with a bitset product reachability over graph.Indexed, reusing all
+// scratch across the O(n²) candidates. The reference path below copies the
+// partition map and materialises a fresh Quotient per candidate; it
+// survives as the equivalence oracle (Options.Reference) and as the
+// fallback for ε-carrying automata, which FromWords never produces.
 func generalize(g *graph.Graph, pta *automaton.NFA, negatives []graph.NodeID, opts Options, result *Result) *automaton.NFA {
-	workers := opts.workerCount()
+	if opts.Reference {
+		return generalizeReference(g, pta, negatives, opts, result)
+	}
+	// The dense engine packs product configurations node*numStates+block
+	// into int32 (like the rpq core packs its product); a graph × PTA
+	// product beyond that range must take the map-keyed path.
+	if int64(g.NumNodes())*int64(pta.NumStates()) > math.MaxInt32 {
+		return generalizeReference(g, pta, negatives, opts, result)
+	}
+	dense := pta.Dense()
+	if dense.HasEpsilon() {
+		return generalizeReference(g, pta, negatives, opts, result)
+	}
+	return generalizeDense(g, pta, dense, negatives, opts, result)
+}
+
+// generalizeReference is the map-based oracle implementation of the
+// generalisation contract described on generalize.
+func generalizeReference(g *graph.Graph, pta *automaton.NFA, negatives []graph.NodeID, opts Options, result *Result) *automaton.NFA {
+	workers := opts.WorkerCount()
 	partition := make(map[automaton.State]automaton.State)
 	current := pta
 	n := automaton.State(pta.NumStates())
+	var weights []int
+	if opts.MergeOrder == MergeEvidence {
+		weights = evidenceWeights(pta)
+	}
 	type outcome struct {
 		trial     map[automaton.State]automaton.State
 		candidate *automaton.NFA
@@ -306,7 +352,7 @@ func generalize(g *graph.Graph, pta *automaton.NFA, negatives []graph.NodeID, op
 		return outcome{trial, candidate, !selectsAnyNegative(g, candidate, negatives)}
 	}
 	for j := automaton.State(1); j < n; j++ {
-		targets := mergeTargets(pta, partition, j, opts.MergeOrder)
+		targets := mergeTargets(partition, j, opts.MergeOrder, weights)
 		merged := false
 		for lo := 0; lo < len(targets) && !merged; lo += workers {
 			hi := lo + workers
@@ -348,10 +394,25 @@ func generalize(g *graph.Graph, pta *automaton.NFA, negatives []graph.NodeID, op
 	return current
 }
 
+// evidenceWeights precomputes the MergeEvidence weight of every PTA state
+// (its total number of outgoing transitions). The weights depend only on
+// the immutable PTA, so one pass per generalize call replaces the
+// per-comparison recomputation the sort comparator used to do.
+func evidenceWeights(pta *automaton.NFA) []int {
+	labels := pta.Labels()
+	weights := make([]int, pta.NumStates())
+	for s := range weights {
+		for _, l := range labels {
+			weights[s] += len(pta.Successors(automaton.State(s), l))
+		}
+	}
+	return weights
+}
+
 // mergeTargets lists the candidate earlier states j may be merged into:
 // every state below j that has not itself been merged away, ordered by the
-// merge ordering.
-func mergeTargets(pta *automaton.NFA, partition map[automaton.State]automaton.State, j automaton.State, order MergeOrder) []automaton.State {
+// merge ordering (weights must be non-nil for MergeEvidence).
+func mergeTargets(partition map[automaton.State]automaton.State, j automaton.State, order MergeOrder, weights []int) []automaton.State {
 	var targets []automaton.State
 	for i := automaton.State(0); i < j; i++ {
 		if _, merged := partition[i]; merged {
@@ -360,15 +421,8 @@ func mergeTargets(pta *automaton.NFA, partition map[automaton.State]automaton.St
 		targets = append(targets, i)
 	}
 	if order == MergeEvidence {
-		weight := func(s automaton.State) int {
-			total := 0
-			for _, l := range pta.Labels() {
-				total += len(pta.Successors(s, l))
-			}
-			return total
-		}
 		sort.SliceStable(targets, func(a, b int) bool {
-			return weight(targets[a]) > weight(targets[b])
+			return weights[targets[a]] > weights[targets[b]]
 		})
 	}
 	return targets
@@ -411,9 +465,11 @@ func selectsAnyNegative(g *graph.Graph, n *automaton.NFA, negatives []graph.Node
 			return true
 		}
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	// Pop with a head index: re-slicing the queue (queue = queue[1:]) keeps
+	// the whole backing array live for the rest of the search, so a long
+	// BFS would retain every already-processed configuration.
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		for _, e := range g.Out(cur.node) {
 			succ := n.Successors(cur.state, string(e.Label))
 			if len(succ) == 0 {

@@ -41,6 +41,8 @@ type Server struct {
 	// drain instead of pinning a graceful http.Server.Shutdown forever.
 	shutdown     chan struct{}
 	shutdownOnce sync.Once
+	// metrics records per-endpoint request latency (see metrics.go).
+	metrics *httpMetrics
 }
 
 // NewServer assembles a service instance.
@@ -52,6 +54,7 @@ func NewServer(opts Options) *Server {
 		manager:  NewManager(opts),
 		start:    time.Now(),
 		shutdown: make(chan struct{}),
+		metrics:  newHTTPMetrics(),
 	}
 }
 
@@ -70,29 +73,33 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Manager exposes the session manager.
 func (s *Server) Manager() *Manager { return s.manager }
 
-// Handler returns the routed HTTP handler.
+// Handler returns the routed HTTP handler. Every route is instrumented
+// with a request-latency histogram keyed by its pattern (see metrics.go).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+	route("GET /v1/stats", s.handleStats)
+	route("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.registry.List()})
 	})
-	mux.HandleFunc("PUT /v1/graphs/{name}", s.handleLoadGraph)
-	mux.HandleFunc("GET /v1/graphs/{name}", s.handleGetGraph)
-	mux.HandleFunc("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
-	mux.HandleFunc("POST /v1/graphs/{name}/evaluate", s.handleEvaluate)
-	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+	route("PUT /v1/graphs/{name}", s.handleLoadGraph)
+	route("GET /v1/graphs/{name}", s.handleGetGraph)
+	route("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
+	route("POST /v1/graphs/{name}/evaluate", s.handleEvaluate)
+	route("POST /v1/sessions", s.handleCreateSession)
+	route("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.manager.List()})
 	})
-	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
-	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
-	mux.HandleFunc("POST /v1/sessions/{id}/label", s.handleAnswer)
-	mux.HandleFunc("GET /v1/sessions/{id}/hypothesis", s.handleHypothesis)
-	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	route("GET /v1/sessions/{id}", s.handleGetSession)
+	route("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+	route("POST /v1/sessions/{id}/label", s.handleAnswer)
+	route("GET /v1/sessions/{id}/hypothesis", s.handleHypothesis)
+	route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	return mux
 }
 
@@ -357,6 +364,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"max_sessions":   s.opts.MaxSessions,
 		"graphs":         s.registry.List(),
 		"sessions":       s.manager.Counts(),
+		"backpressure":   s.manager.Backpressure(),
+		"http":           s.metrics.Snapshot(),
 	}
 	if st := s.opts.Store; st != nil {
 		resp["store"] = st.Metrics()

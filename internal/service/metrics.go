@@ -1,0 +1,197 @@
+package service
+
+// Backpressure observability for the ROADMAP's million-user north star: a
+// daemon that is saturating needs to say so before clients find out via
+// timeouts. Two signals are exposed on /v1/stats:
+//
+//   - the session manager's admission state (live loops vs capacity, and
+//     how many loops sit parked on the question/answer bridge waiting for
+//     a client — the service's queue depth);
+//   - a per-endpoint request-latency histogram with fixed bucket bounds,
+//     recorded lock-free on the request path via atomics.
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketBoundsUs are the inclusive upper bounds, in microseconds,
+// of the latency histogram buckets; a final implicit bucket catches
+// everything slower.
+var latencyBucketBoundsUs = [...]int64{100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000}
+
+// latencyHistogram is one endpoint's latency record. All fields are
+// updated with atomics; observe never takes a lock.
+type latencyHistogram struct {
+	buckets [len(latencyBucketBoundsUs) + 1]atomic.Int64
+	count   atomic.Int64
+	totalUs atomic.Int64
+	maxUs   atomic.Int64
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := sort.Search(len(latencyBucketBoundsUs), func(i int) bool { return us <= latencyBucketBoundsUs[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.totalUs.Add(us)
+	for {
+		cur := h.maxUs.Load()
+		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
+			return
+		}
+	}
+}
+
+// HistogramBucket is one bucket of a latency histogram view. LeUs is the
+// bucket's inclusive upper bound in microseconds; the overflow bucket
+// reports -1.
+type HistogramBucket struct {
+	LeUs  int64 `json:"le_us"`
+	Count int64 `json:"count"`
+}
+
+// LatencyView is the JSON-facing snapshot of one endpoint's latency
+// histogram. Percentiles are upper-bound estimates: the bound of the first
+// bucket whose cumulative count covers the quantile (the overflow bucket
+// reports the observed maximum).
+type LatencyView struct {
+	Count   int64             `json:"count"`
+	MeanUs  float64           `json:"mean_us"`
+	MaxUs   int64             `json:"max_us"`
+	P50Us   int64             `json:"p50_us"`
+	P90Us   int64             `json:"p90_us"`
+	P99Us   int64             `json:"p99_us"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// snapshot renders a consistent-enough view for stats reporting: buckets
+// are read one atomic at a time, so a snapshot racing observes may be off
+// by the in-flight requests, which is fine for monitoring.
+func (h *latencyHistogram) snapshot() LatencyView {
+	v := LatencyView{Count: h.count.Load(), MaxUs: h.maxUs.Load()}
+	if v.Count == 0 {
+		return v
+	}
+	v.MeanUs = float64(h.totalUs.Load()) / float64(v.Count)
+	counts := make([]int64, len(h.buckets))
+	total := int64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) int64 {
+		target := int64(float64(total)*q + 0.5)
+		cum := int64(0)
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				if i < len(latencyBucketBoundsUs) {
+					return latencyBucketBoundsUs[i]
+				}
+				return v.MaxUs
+			}
+		}
+		return v.MaxUs
+	}
+	v.P50Us, v.P90Us, v.P99Us = quantile(0.50), quantile(0.90), quantile(0.99)
+	v.Buckets = make([]HistogramBucket, 0, len(counts))
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(latencyBucketBoundsUs) {
+			le = latencyBucketBoundsUs[i]
+		}
+		v.Buckets = append(v.Buckets, HistogramBucket{LeUs: le, Count: c})
+	}
+	return v
+}
+
+// httpMetrics owns one latency histogram per routed endpoint pattern.
+// Histograms are registered while the handler is assembled; the request
+// path only touches the captured histogram pointer.
+type httpMetrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*latencyHistogram
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{endpoints: make(map[string]*latencyHistogram)}
+}
+
+func (m *httpMetrics) register(pattern string) *latencyHistogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.endpoints[pattern]
+	if !ok {
+		h = &latencyHistogram{}
+		m.endpoints[pattern] = h
+	}
+	return h
+}
+
+// Snapshot returns the per-endpoint latency views keyed by route pattern.
+func (m *httpMetrics) Snapshot() map[string]LatencyView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]LatencyView, len(m.endpoints))
+	for pattern, h := range m.endpoints {
+		out[pattern] = h.snapshot()
+	}
+	return out
+}
+
+// instrument wraps a handler so its requests are recorded against the
+// endpoint's histogram. Streaming endpoints (SSE) record the lifetime of
+// the stream, which is what their tail latency means.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.metrics.register(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.observe(time.Since(start))
+	}
+}
+
+// BackpressureStats is the session manager's admission and queueing state.
+type BackpressureStats struct {
+	// LiveSessions counts learning loops that have not exited.
+	LiveSessions int `json:"live_sessions"`
+	// MaxSessions is the admission limit LiveSessions is checked against.
+	MaxSessions int `json:"max_sessions"`
+	// QueueDepth counts sessions parked on the question/answer bridge —
+	// a pending question published, no answer delivered yet. Under client
+	// stalls this is the number of loops holding a live slot while doing
+	// no work.
+	QueueDepth int `json:"queue_depth"`
+	// FinishedRetained counts finished sessions retained for inspection.
+	FinishedRetained int `json:"finished_retained"`
+}
+
+// Backpressure returns the manager's current admission and queueing state.
+func (m *Manager) Backpressure() BackpressureStats {
+	m.mu.Lock()
+	st := BackpressureStats{
+		LiveSessions:     m.live,
+		MaxSessions:      m.opts.MaxSessions,
+		FinishedRetained: len(m.finishedIDs),
+	}
+	sessions := make([]*HostedSession, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.pending != nil {
+			st.QueueDepth++
+		}
+		s.mu.Unlock()
+	}
+	return st
+}

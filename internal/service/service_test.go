@@ -322,3 +322,71 @@ func TestStatsEndpoint(t *testing.T) {
 		t.Fatalf("repeated evaluate must hit the shared cache, stats %+v", c)
 	}
 }
+
+func TestStatsBackpressureAndLatency(t *testing.T) {
+	srv, ts := newTestServer(t)
+	loadFigure1(t, ts, "demo")
+	do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate", evaluateRequest{Query: "bus"}, nil)
+
+	// A manual session parks on its first label question: one live loop
+	// occupying one slot while waiting for a client — queue depth 1.
+	var sess SessionView
+	if code := do(t, http.MethodPost, ts.URL+"/v1/sessions", SessionConfig{Graph: "demo"}, &sess); code != http.StatusCreated {
+		t.Fatalf("create session returned %d", code)
+	}
+	waitSession(t, ts, sess.ID, func(v SessionView) bool {
+		return v.Pending != nil && v.Pending.Kind == "label"
+	})
+
+	var stats struct {
+		Backpressure BackpressureStats      `json:"backpressure"`
+		HTTP         map[string]LatencyView `json:"http"`
+	}
+	if code := do(t, http.MethodGet, ts.URL+"/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats returned %d", code)
+	}
+	bp := stats.Backpressure
+	if bp.LiveSessions != 1 || bp.QueueDepth != 1 {
+		t.Fatalf("backpressure = %+v, want 1 live / 1 queued", bp)
+	}
+	if bp.MaxSessions != srv.opts.MaxSessions || bp.MaxSessions <= 0 {
+		t.Fatalf("backpressure capacity = %d, want %d", bp.MaxSessions, srv.opts.MaxSessions)
+	}
+	for _, pattern := range []string{"PUT /v1/graphs/{name}", "POST /v1/graphs/{name}/evaluate", "POST /v1/sessions"} {
+		view, ok := stats.HTTP[pattern]
+		if !ok {
+			t.Fatalf("stats http section lacks %q: %v", pattern, stats.HTTP)
+		}
+		if view.Count < 1 || view.P50Us <= 0 || view.P99Us < view.P50Us || view.MaxUs <= 0 {
+			t.Fatalf("%q latency view implausible: %+v", pattern, view)
+		}
+		total := int64(0)
+		for _, b := range view.Buckets {
+			total += b.Count
+		}
+		if total != view.Count {
+			t.Fatalf("%q bucket counts sum to %d, want %d", pattern, total, view.Count)
+		}
+	}
+	// Un-routed endpoints are registered with zero counts and must not
+	// fabricate latencies.
+	if view, ok := stats.HTTP["DELETE /v1/graphs/{name}"]; !ok || view.Count != 0 || len(view.Buckets) != 0 {
+		t.Fatalf("idle endpoint view = %+v, ok=%v", view, ok)
+	}
+
+	// Answering the question drains the bridge; once the session finishes,
+	// the queue depth and live count drop to zero and the finished session
+	// is retained.
+	do(t, http.MethodDelete, ts.URL+"/v1/sessions/"+sess.ID, nil, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		bp = srv.Manager().Backpressure()
+		if bp.LiveSessions == 0 && bp.QueueDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backpressure did not drain: %+v", bp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -102,6 +102,13 @@ run_engine() {
   grep -q '"graphs"' /tmp/gpsd_stats.json
   grep -q '"journal_appends"' /tmp/gpsd_stats.json
   grep -q "\"engine\": \"$ENGINE\"" /tmp/gpsd_stats.json
+  # Backpressure metrics: session-manager queue state and per-endpoint
+  # request-latency histograms must be populated by the traffic above.
+  grep -q '"backpressure"' /tmp/gpsd_stats.json
+  grep -q '"queue_depth"' /tmp/gpsd_stats.json
+  grep -q '"live_sessions"' /tmp/gpsd_stats.json
+  grep -q '"POST /v1/graphs/{name}/evaluate"' /tmp/gpsd_stats.json
+  grep -q '"p99_us"' /tmp/gpsd_stats.json
 
   # --- Kill-and-restart recovery -------------------------------------------
   # Park a manual session on its satisfied question (one positive label
