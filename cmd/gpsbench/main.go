@@ -45,6 +45,13 @@ func main() {
 		learnOut   = flag.String("learnbench-out", "BENCH_learn.json", "output path of the -learnbench JSON summary")
 		learnGate  = flag.String("learngate", "", "check this -learnbench summary and fail if the dense/reference 60x60 Learn speedup is below -learngate-min or the merge check allocates")
 		learnMin   = flag.Float64("learngate-min", 3, "minimum dense/reference 60x60 Learn speedup for -learngate")
+		chaosBench = flag.Bool("chaosbench", false, "run the crash-anywhere chaos harness: torture a real gpsd subprocess with SIGKILLs and in-compaction crashes, then prove equivalence against a text-engine oracle")
+		chaosGpsd  = flag.String("chaos-gpsd", "", "path to the gpsd binary to torture (required with -chaosbench)")
+		chaosKills = flag.Int("chaos-kills", 30, "number of hard kills the chaos run inflicts before driving sessions to completion")
+		chaosSess  = flag.Int("chaos-sessions", 24, "number of concurrent learning sessions the chaos run drives")
+		chaosAddr  = flag.String("chaos-addr", "127.0.0.1:18090", "listen address for the tortured gpsd")
+		chaosOut   = flag.String("chaosbench-out", "", "optional JSON summary output path for -chaosbench")
+		chaosV     = flag.Bool("chaos-v", false, "log per-kill chaos progress")
 		benchCmp   = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on regression")
 		benchBase  = flag.String("benchcmp-base", "BENCH_baseline.json", "baseline summary for -benchcmp")
 		benchTol   = flag.Float64("benchcmp-threshold", 0.25, "allowed regression for -benchcmp (0.25 = 25%)")
@@ -69,6 +76,23 @@ func main() {
 				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		return
+	}
+
+	if *chaosBench {
+		err := runChaosBench(chaosOptions{
+			gpsdPath: *chaosGpsd,
+			addr:     *chaosAddr,
+			kills:    *chaosKills,
+			sessions: *chaosSess,
+			seed:     *seed,
+			out:      *chaosOut,
+			verbose:  *chaosV,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: chaosbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -14,6 +14,9 @@
 //	gpsd -data-dir d -store-engine text   # JSONL engine (greppable journals)
 //	gpsd -data-dir d -commit-interval 2ms # widen the group-commit batch window
 //	gpsd -data-dir d -compact             # compact the journal at startup
+//	gpsd -data-dir d -compact-interval 1m # compact live, periodically, while
+//	                                      # serving (appends keep flowing)
+//	gpsd -request-timeout 10s             # per-request deadline (SSE exempt)
 //
 // A durable gpsd takes an exclusive LOCK on its data directory, so a
 // second daemon pointed at the same directory fails fast instead of
@@ -23,8 +26,8 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -37,24 +40,23 @@ import (
 	"repro/internal/store"
 )
 
-// parsePreload turns "name=kind" or "name=transport:RxC" into a LoadSpec.
-func parsePreload(arg string) (name string, spec service.LoadSpec, err error) {
-	name, val, ok := strings.Cut(arg, "=")
-	if !ok || name == "" || val == "" {
-		return "", spec, fmt.Errorf("want name=dataset, got %q", arg)
+// crashFault arms the store's fault-injection hook from the environment:
+// GPSD_FAULT_CRASH=<point> makes the daemon exit hard (no cleanup, no lock
+// release — a faithful SIGKILL) the first time the store passes that named
+// fault point. Used by the chaos harness to park crashes inside specific
+// live-compaction phases; unset in normal operation.
+func crashFault() func(string) error {
+	point := os.Getenv("GPSD_FAULT_CRASH")
+	if point == "" {
+		return nil
 	}
-	kind, size, sized := strings.Cut(val, ":")
-	ds := service.DatasetSpec{Kind: kind, Seed: 1}
-	if sized {
-		var rows, cols int
-		if _, err := fmt.Sscanf(size, "%dx%d", &rows, &cols); err == nil {
-			ds.Rows, ds.Cols = rows, cols
-			ds.Nodes = rows * cols
-		} else if _, err := fmt.Sscanf(size, "%d", &ds.Nodes); err != nil {
-			return "", spec, fmt.Errorf("unparsable dataset size %q (want RxC or N)", size)
+	return func(p string) error {
+		if p == point {
+			log.Printf("gpsd: GPSD_FAULT_CRASH: crashing at %s", p)
+			os.Exit(3)
 		}
+		return nil
 	}
-	return name, service.LoadSpec{Format: "dataset", Dataset: ds}, nil
 }
 
 func main() {
@@ -68,6 +70,9 @@ func main() {
 		storeEngine = flag.String("store-engine", store.EngineKindBinary, "storage engine for -data-dir: binary (segmented log, group commit) or text (JSONL, one fsync per append)")
 		commitIvl   = flag.Duration("commit-interval", 0, "binary engine: max extra latency an append may wait to share an fsync (0 = batch only what is already queued)")
 		compact     = flag.Bool("compact", false, "compact the journal at startup (binary engine): drop removed sessions, collapse finished ones, retire dead segments")
+		compactIvl  = flag.Duration("compact-interval", 0, "binary engine: run a live compaction this often while serving (0 = never); appends keep flowing during a pass")
+		segSize     = flag.Int64("segment-size", 0, "binary engine: segment roll threshold in bytes (0 = default 4MiB)")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline for non-streaming endpoints (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -88,6 +93,8 @@ func main() {
 		eng, err = store.OpenEngine(*dataDir, store.EngineOptions{
 			Kind:           *storeEngine,
 			CommitInterval: *commitIvl,
+			SegmentSize:    *segSize,
+			Fault:          crashFault(),
 		})
 		if err != nil {
 			log.Fatalf("gpsd: %v", err)
@@ -110,10 +117,11 @@ func main() {
 		log.Fatalf("gpsd: -compact requires -data-dir")
 	}
 	srv := service.NewServer(service.Options{
-		EvalWorkers:   *shards,
-		CacheCapacity: *cacheCap,
-		MaxSessions:   *maxSess,
-		Store:         eng,
+		EvalWorkers:    *shards,
+		CacheCapacity:  *cacheCap,
+		MaxSessions:    *maxSess,
+		Store:          eng,
+		RequestTimeout: *reqTimeout,
 	})
 	if eng != nil {
 		rep, err := srv.Recover()
@@ -128,7 +136,7 @@ func main() {
 	}
 	if *preload != "" {
 		for _, arg := range strings.Split(*preload, ",") {
-			name, spec, err := parsePreload(strings.TrimSpace(arg))
+			name, spec, err := service.ParsePreload(strings.TrimSpace(arg))
 			if err != nil {
 				log.Fatalf("gpsd: -preload: %v", err)
 			}
@@ -144,10 +152,43 @@ func main() {
 		}
 	}
 
+	// The live-compaction ticker runs beside the serving loop: each pass
+	// seals the active segment and rewrites only sealed ones, so appends
+	// never stall beyond one group-commit batch window. ErrCompacting (an
+	// admin-triggered pass already running) is not noise worth logging.
+	compactDone := make(chan struct{})
+	if *compactIvl > 0 {
+		if eng == nil {
+			log.Fatalf("gpsd: -compact-interval requires -data-dir")
+		}
+		ticker := time.NewTicker(*compactIvl)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-compactDone:
+					return
+				case <-ticker.C:
+				}
+				rep, err := eng.Compact()
+				switch {
+				case errors.Is(err, store.ErrCompacting):
+				case err != nil:
+					log.Printf("gpsd: live compact: %v", err)
+				case rep.Supported && rep.SegmentsRetired > 0:
+					log.Printf("gpsd: live compact: %d sessions summarised, %d dropped, %d -> %d segments, %d -> %d bytes",
+						rep.SessionsCompacted, rep.SessionsDropped,
+						rep.SegmentsRetired, rep.SegmentsWritten, rep.BytesBefore, rep.BytesAfter)
+				}
+			}
+		}()
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	// Drain open SSE streams when Shutdown begins, or they would hold the
 	// graceful shutdown until its deadline.
@@ -163,6 +204,8 @@ func main() {
 		log.Fatalf("gpsd: %v", err)
 	case sig := <-sigCh:
 		log.Printf("gpsd: %v, shutting down", sig)
+		// Stop scheduling compactions before the engine closes under them.
+		close(compactDone)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {

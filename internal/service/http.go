@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rpq"
+	"repro/internal/store"
 )
 
 // Server is the JSON/HTTP front-end of the service.
@@ -28,6 +30,7 @@ import (
 //	GET    /v1/sessions/{id}/hypothesis current hypothesis + its answer set
 //	DELETE /v1/sessions/{id}            cancel and drop a session
 //	GET    /v1/stats                    server-wide statistics
+//	POST   /v1/admin/compact            run one store compaction (durable only)
 //	GET    /healthz                     liveness probe
 type Server struct {
 	opts     Options
@@ -100,7 +103,30 @@ func (s *Server) Handler() http.Handler {
 	route("POST /v1/sessions/{id}/label", s.handleAnswer)
 	route("GET /v1/sessions/{id}/hypothesis", s.handleHypothesis)
 	route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	route("POST /v1/admin/compact", s.handleAdminCompact)
 	return mux
+}
+
+// handleAdminCompact triggers one store compaction pass. On the binary
+// engine this is the live path: appends keep flowing while dead segments
+// are rewritten. A pass already in flight answers 409 — compaction is not
+// a queue.
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	eng := s.opts.Store
+	if eng == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service is not durable: no store engine configured"))
+		return
+	}
+	rep, err := eng.Compact()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, store.ErrCompacting) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -199,6 +225,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	ctx := r.Context()
+	if deadlineHit(w, ctx) {
+		return
+	}
 	nodes := engine.Selected()
 	total := len(nodes)
 	if req.Limit > 0 && len(nodes) > req.Limit {
@@ -211,9 +241,24 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		"duration_us": time.Since(started).Microseconds(),
 	}
 	if req.Witnesses {
-		resp["witnesses"] = witnessFanOut(engine, nodes, s.opts.EvalWorkers)
+		resp["witnesses"] = witnessFanOut(ctx, engine, nodes, s.opts.EvalWorkers)
+		// A fan-out cut short by the deadline would return a silently
+		// partial witness map; fail the request instead.
+		if deadlineHit(w, ctx) {
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// deadlineHit answers 503 when the per-request deadline (or the client)
+// canceled the context, and reports whether it did.
+func deadlineHit(w http.ResponseWriter, ctx context.Context) bool {
+	if err := ctx.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request deadline exceeded: %w", err))
+		return true
+	}
+	return false
 }
 
 // witnessFanOut computes one shortest witness path per selected node,
@@ -221,14 +266,19 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // rpq.Engine.Witness call is independent (it draws its scratch from a
 // pool), so the fan-out parallelises cleanly; workers claim nodes off an
 // atomic cursor and write into index-aligned slots, and the result map is
-// identical to the sequential loop's.
-func witnessFanOut(engine *rpq.Engine, nodes []graph.NodeID, workers int) map[graph.NodeID][]graph.Edge {
+// identical to the sequential loop's. A canceled context stops workers
+// at the next claim — the caller must check ctx before trusting the map
+// to be complete.
+func witnessFanOut(ctx context.Context, engine *rpq.Engine, nodes []graph.NodeID, workers int) map[graph.NodeID][]graph.Edge {
 	out := make(map[graph.NodeID][]graph.Edge, len(nodes))
 	if workers > len(nodes) {
 		workers = len(nodes)
 	}
 	if workers <= 1 {
 		for _, n := range nodes {
+			if ctx.Err() != nil {
+				return out
+			}
 			if path, ok := engine.Witness(n); ok {
 				out[n] = path
 			}
@@ -243,7 +293,7 @@ func witnessFanOut(engine *rpq.Engine, nodes []graph.NodeID, workers int) map[gr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(nodes) {
 					return

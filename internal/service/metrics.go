@@ -11,8 +11,10 @@ package service
 //     recorded lock-free on the request path via atomics.
 
 import (
+	"context"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -147,12 +149,20 @@ func (m *httpMetrics) Snapshot() map[string]LatencyView {
 }
 
 // instrument wraps a handler so its requests are recorded against the
-// endpoint's histogram. Streaming endpoints (SSE) record the lifetime of
-// the stream, which is what their tail latency means.
+// endpoint's histogram and, when Options.RequestTimeout is set, bounded
+// by a per-request context deadline. Streaming endpoints (SSE) record the
+// lifetime of the stream, which is what their tail latency means, and are
+// exempt from the deadline — a tail is supposed to stay open.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.metrics.register(pattern)
+	streaming := strings.HasSuffix(pattern, "/events")
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if s.opts.RequestTimeout > 0 && !streaming {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		h(w, r)
 		hist.observe(time.Since(start))
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -660,9 +661,9 @@ func TestWitnessFanOutMatchesSequential(t *testing.T) {
 	if len(nodes) < 16 {
 		t.Fatalf("test graph selects only %d nodes", len(nodes))
 	}
-	sequential := witnessFanOut(engine, nodes, 1)
+	sequential := witnessFanOut(context.Background(), engine, nodes, 1)
 	for _, workers := range []int{2, 4, 8, 64} {
-		sharded := witnessFanOut(engine, nodes, workers)
+		sharded := witnessFanOut(context.Background(), engine, nodes, workers)
 		if len(sharded) != len(sequential) {
 			t.Fatalf("workers=%d: %d witnesses, want %d", workers, len(sharded), len(sequential))
 		}

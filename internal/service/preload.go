@@ -1,0 +1,29 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParsePreload turns a "name=kind" or "name=transport:RxC" preload
+// argument into a graph name and LoadSpec. Shared by cmd/gpsd's -preload
+// flag and the chaos harness's oracle, which must rebuild exactly the
+// graphs the daemon preloaded.
+func ParsePreload(arg string) (name string, spec LoadSpec, err error) {
+	name, val, ok := strings.Cut(arg, "=")
+	if !ok || name == "" || val == "" {
+		return "", spec, fmt.Errorf("want name=dataset, got %q", arg)
+	}
+	kind, size, sized := strings.Cut(val, ":")
+	ds := DatasetSpec{Kind: kind, Seed: 1}
+	if sized {
+		var rows, cols int
+		if _, err := fmt.Sscanf(size, "%dx%d", &rows, &cols); err == nil {
+			ds.Rows, ds.Cols = rows, cols
+			ds.Nodes = rows * cols
+		} else if _, err := fmt.Sscanf(size, "%d", &ds.Nodes); err != nil {
+			return "", spec, fmt.Errorf("unparsable dataset size %q (want RxC or N)", size)
+		}
+	}
+	return name, LoadSpec{Format: "dataset", Dataset: ds}, nil
+}

@@ -27,6 +27,8 @@
 package service
 
 import (
+	"time"
+
 	"repro/internal/rpq"
 	"repro/internal/store"
 )
@@ -50,6 +52,11 @@ type Options struct {
 	// the write-ahead contract. Nil keeps everything in memory (session
 	// event streams still work off in-memory journals).
 	Store store.Engine
+	// RequestTimeout bounds each non-streaming HTTP request with a context
+	// deadline: evaluation fan-outs stop claiming work and the handler
+	// answers 503 once it expires. 0 disables the per-request deadline.
+	// SSE event streams are exempt — their lifetime is the tail's.
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {

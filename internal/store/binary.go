@@ -2,8 +2,10 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -30,6 +32,8 @@ import (
 //	flag 1  tombstone          the session was removed; drop its records
 //	flag 2  terminal record    like data, and the session is finished
 //	flag 3  summary            a finished session compacted to one frame
+//	flag 4  index              per-session frame listing (sealed segments)
+//	flag 5  trailer            fixed-size locator of the index frame
 //
 // All appends funnel through a single group-commit writer goroutine: an
 // append hands its frame over and blocks until the batch it joined is
@@ -40,17 +44,35 @@ import (
 // records never wait out the window: they flush the batch immediately, so
 // crash-resume semantics match the per-append-fsync engine.
 //
-// Recovery replays the segments in order. A structurally torn tail (short
-// header, length overrunning the file) in the final segment is truncated
-// exactly like a torn JSONL line; a CRC-failed frame in an earlier
-// segment is skipped and counted, and the per-session sequence check then
-// truncates only the affected session at its first gap.
+// Recovery replays the segments in order, streaming each one frame at a
+// time (memory is bounded by the largest frame, not the segment size). A
+// structurally torn tail (short header, length overrunning the file) in
+// the final segment is truncated exactly like a torn JSONL line; a
+// CRC-failed frame in an earlier segment is skipped and counted, and the
+// per-session sequence check then truncates only the affected session at
+// its first gap. Sealed segments end with an index footer (flags 4/5)
+// that lets scans enumerate session ids without decoding frames and
+// resynchronise past structural damage; when the footer is absent or
+// fails its CRC the scan falls back to reading every frame.
+//
+// Compaction runs in two modes sharing one crash-safe swap protocol (the
+// new wal is fully fsynced in wal.compact, then two renames move it into
+// place, and repairCompaction can always finish or undo the swap):
+// offline (before any journal exists, gpsd -compact) rewrites everything;
+// live (appends in flight) asks the writer goroutine to seal the active
+// segment, compacts only the sealed segments, and swaps while appends
+// continue into fresh segments — the writer's open segment is hard-linked
+// into the new wal, so its file descriptor stays valid across the swap
+// and no append ever blocks for more than the seal/swap control requests,
+// each about one group-commit batch window.
 
 const (
 	flagData      = 0
 	flagTombstone = 1
 	flagTerminal  = 2
 	flagSummary   = 3
+	flagIndex     = 4
+	flagTrailer   = 5
 
 	// frameHeaderSize is the fixed [length][crc] prefix.
 	frameHeaderSize = 8
@@ -75,10 +97,16 @@ func segmentIndex(name string) (uint64, bool) {
 	return idx, true
 }
 
-// appendReq is one append waiting for its group commit.
+// appendReq is one append waiting for its group commit, or (ctl set) a
+// control request the writer runs exclusively between batches — how live
+// compaction seals the active segment and swaps the wal without ever
+// taking the writer's ownership of the tail away from it.
 type appendReq struct {
 	frame    []byte
+	sid      string
+	flag     byte
 	terminal bool
+	ctl      func() error
 	err      chan error
 }
 
@@ -104,6 +132,9 @@ type binaryEngine struct {
 	// records whether the wal has been read to populate it.
 	sids    map[string]struct{}
 	scanned bool
+	// compacting serialises Compact runs (a second concurrent call fails
+	// with ErrCompacting) and fences RecoverSessions off the swap window.
+	compacting bool
 
 	reqs chan *appendReq
 	quit chan struct{}
@@ -120,6 +151,13 @@ type binaryEngine struct {
 	// reopens that tail once (tailTried) before sealing it and moving on.
 	nextSeg   uint64
 	tailTried bool
+	// segIndex accumulates the open segment's session index footer; nil
+	// for a reopened tail, whose pre-existing frames the writer never saw
+	// (such a segment seals without a footer and scans fall back).
+	segIndex *segIndexBuilder
+	// fault is the test/chaos fault-injection hook (EngineOptions.Fault),
+	// called at named points of the compaction protocol.
+	fault func(string) error
 }
 
 // openBinary creates (if needed) and opens a data directory with the
@@ -144,6 +182,7 @@ func openBinary(dir string, opts EngineOptions) (*binaryEngine, error) {
 		sids:           make(map[string]struct{}),
 		reqs:           make(chan *appendReq, 1024),
 		quit:           make(chan struct{}),
+		fault:          opts.Fault,
 	}
 	if e.segmentSize <= 0 {
 		e.segmentSize = defaultSegmentSize
@@ -169,6 +208,19 @@ func openBinary(dir string, opts EngineOptions) (*binaryEngine, error) {
 func (e *binaryEngine) EngineName() string { return EngineKindBinary }
 func (e *binaryEngine) Dir() string        { return e.dir }
 func (e *binaryEngine) Metrics() Metrics   { return e.m.snapshot(EngineKindBinary) }
+
+// faultPoint invokes the injected fault hook, if any. A chaos harness
+// hook typically kills the process outright; a test hook returns an error
+// to abort the protocol at that point.
+func (e *binaryEngine) faultPoint(name string) error {
+	if e.fault == nil {
+		return nil
+	}
+	if err := e.fault(name); err != nil {
+		return fmt.Errorf("store: fault at %s: %w", name, err)
+	}
+	return nil
+}
 
 func (e *binaryEngine) graphsDir() string { return filepath.Join(e.dir, "graphs") }
 func (e *binaryEngine) walDir() string    { return filepath.Join(e.dir, "wal") }
@@ -213,7 +265,7 @@ func (e *binaryEngine) Close() error {
 
 // submit hands a frame to the group-commit writer and blocks until the
 // batch containing it is durable.
-func (e *binaryEngine) submit(frame []byte, terminal bool) error {
+func (e *binaryEngine) submit(frame []byte, sid string, flag byte, terminal bool) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -223,7 +275,24 @@ func (e *binaryEngine) submit(frame []byte, terminal bool) error {
 	e.inflight.Add(1)
 	e.mu.Unlock()
 	defer e.inflight.Done()
-	req := &appendReq{frame: frame, terminal: terminal, err: make(chan error, 1)}
+	req := &appendReq{frame: frame, sid: sid, flag: flag, terminal: terminal, err: make(chan error, 1)}
+	e.reqs <- req
+	return <-req.err
+}
+
+// control runs fn on the writer goroutine, exclusively between commit
+// batches, and blocks until it returns. It registers in inflight like an
+// append, so Close waits it out and the writer is guaranteed to answer.
+func (e *binaryEngine) control(fn func() error) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("store: engine is closed")
+	}
+	e.inflight.Add(1)
+	e.mu.Unlock()
+	defer e.inflight.Done()
+	req := &appendReq{ctl: fn, err: make(chan error, 1)}
 	e.reqs <- req
 	return <-req.err
 }
@@ -244,10 +313,21 @@ func (e *binaryEngine) writer() {
 		case <-e.quit:
 			return
 		}
-		batch := e.gather(first)
-		err := e.commit(batch)
-		for _, r := range batch {
-			r.err <- err
+		for first != nil {
+			if first.ctl != nil {
+				first.err <- first.ctl()
+				first = nil
+				continue
+			}
+			batch, ctl := e.gather(first)
+			err := e.commit(batch)
+			for _, r := range batch {
+				r.err <- err
+			}
+			// A control request that interrupted the gather runs next,
+			// before any newly queued appends: a pending seal or swap is
+			// delayed by at most the batch it landed behind.
+			first = ctl
 		}
 	}
 }
@@ -265,15 +345,20 @@ const gatherYields = 64
 // window (CommitInterval > 0) or adaptively yields until arrivals stop,
 // which batches near the concurrency level without imposing a fixed
 // latency on light load. A terminal record ends gathering immediately so
-// a session's final fsync is never delayed.
-func (e *binaryEngine) gather(first *appendReq) []*appendReq {
-	batch := []*appendReq{first}
+// a session's final fsync is never delayed, and a control request ends it
+// too (returned as ctl, to run right after the batch commits).
+func (e *binaryEngine) gather(first *appendReq) (batch []*appendReq, ctl *appendReq) {
+	batch = []*appendReq{first}
 	terminal := first.terminal
 	drain := func() bool {
 		grew := false
-		for !terminal {
+		for !terminal && ctl == nil {
 			select {
 			case r := <-e.reqs:
+				if r.ctl != nil {
+					ctl = r
+					return grew
+				}
 				batch = append(batch, r)
 				terminal = r.terminal
 				grew = true
@@ -284,30 +369,34 @@ func (e *binaryEngine) gather(first *appendReq) []*appendReq {
 		return grew
 	}
 	drain()
-	if terminal {
-		return batch
+	if terminal || ctl != nil {
+		return batch, ctl
 	}
 	if e.commitInterval > 0 {
 		timer := time.NewTimer(e.commitInterval)
 		defer timer.Stop()
-		for !terminal {
+		for !terminal && ctl == nil {
 			select {
 			case r := <-e.reqs:
+				if r.ctl != nil {
+					ctl = r
+					continue
+				}
 				batch = append(batch, r)
 				terminal = r.terminal
 			case <-timer.C:
-				return batch
+				return batch, ctl
 			}
 		}
-		return batch
+		return batch, ctl
 	}
-	for idle := 0; idle < gatherYields && !terminal; idle++ {
+	for idle := 0; idle < gatherYields && !terminal && ctl == nil; idle++ {
 		runtime.Gosched()
 		if drain() {
 			idle = 0
 		}
 	}
-	return batch
+	return batch, ctl
 }
 
 // commit writes a batch into the current segment and fsyncs once. After
@@ -340,6 +429,13 @@ func (e *binaryEngine) commit(batch []*appendReq) error {
 		e.segErr = fmt.Errorf("store: segment fsync: %w", err)
 		return e.segErr
 	}
+	if e.segIndex != nil {
+		off := e.segOff
+		for _, r := range batch {
+			e.segIndex.add(r.sid, r.flag, off)
+			off += int64(len(r.frame))
+		}
+	}
 	e.segOff += size
 	e.m.fsyncs.Add(1)
 	e.m.fsyncNanos.Add(time.Since(start).Nanoseconds())
@@ -357,10 +453,9 @@ func (e *binaryEngine) commit(batch []*appendReq) error {
 // torn tail before the first append can happen.
 func (e *binaryEngine) rotate() error {
 	if e.seg != nil {
-		if err := e.seg.Close(); err != nil {
-			return fmt.Errorf("store: close segment: %w", err)
+		if err := e.sealCurrent(); err != nil {
+			return err
 		}
-		e.seg = nil
 	} else if !e.tailTried && e.nextSeg > 0 {
 		e.tailTried = true
 		path := segmentPath(e.walDir(), e.nextSeg)
@@ -371,6 +466,12 @@ func (e *binaryEngine) rotate() error {
 			}
 			e.seg = f
 			e.segOff = fi.Size()
+			// The writer never saw this segment's earlier frames, so it
+			// cannot build a complete index footer for it: scans of this
+			// segment fall back to reading every frame. (Any footer the
+			// tail already carries stops being trusted the moment appends
+			// bury its trailer mid-file.)
+			e.segIndex = nil
 			return nil
 		}
 	}
@@ -386,7 +487,40 @@ func (e *binaryEngine) rotate() error {
 	}
 	e.seg = f
 	e.segOff = 0
+	e.segIndex = newSegIndexBuilder()
 	e.m.segmentsCreated.Add(1)
+	return nil
+}
+
+// sealCurrent closes the open segment, appending its index footer first
+// when the writer has seen every frame in it. Called by rotate on
+// roll-over and by the live-compaction seal control request; a failure
+// leaves the segment unsealed but correct (footers are optional).
+func (e *binaryEngine) sealCurrent() error {
+	if e.seg == nil {
+		return nil
+	}
+	if e.segIndex != nil && !e.segIndex.empty() {
+		footer := encodeSegmentFooter(e.segIndex.entries(), e.segOff)
+		if _, err := e.seg.Write(footer); err != nil {
+			e.seg.Close()
+			e.seg = nil
+			return fmt.Errorf("store: seal segment: %w", err)
+		}
+		if err := e.seg.Sync(); err != nil {
+			e.seg.Close()
+			e.seg = nil
+			return fmt.Errorf("store: seal segment: %w", err)
+		}
+		e.segOff += int64(len(footer))
+		e.m.footersWritten.Add(1)
+	}
+	err := e.seg.Close()
+	e.seg = nil
+	e.segIndex = nil
+	if err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
 	return nil
 }
 
@@ -492,6 +626,11 @@ func decodePayload(payload []byte) (decodedFrame, error) {
 		return bad()
 	}
 	df := decodedFrame{flag: payload[0]}
+	if df.flag == flagIndex || df.flag == flagTrailer {
+		// Footer frames carry no session; scans skip them and the footer
+		// readers parse them with their own decoders.
+		return df, nil
+	}
 	r := &frameReader{data: payload, off: 1}
 	var ok bool
 	if df.sid, ok = r.string(); !ok || df.sid == "" {
@@ -566,7 +705,7 @@ func (bj *binaryJournal) append(rec Record, terminal bool) error {
 	if terminal {
 		flag = flagTerminal
 	}
-	return bj.e.submit(encodeFrame(encodeRecordPayload(flag, bj.sid, rec)), terminal)
+	return bj.e.submit(encodeFrame(encodeRecordPayload(flag, bj.sid, rec)), bj.sid, flag, terminal)
 }
 
 func (bj *binaryJournal) close() error { return nil }
@@ -574,7 +713,7 @@ func (bj *binaryJournal) close() error { return nil }
 // remove appends a tombstone frame: the session's records stay in their
 // segments until compaction, but recovery drops them.
 func (bj *binaryJournal) remove() error {
-	return bj.e.submit(encodeFrame(encodeTombstonePayload(bj.sid)), true)
+	return bj.e.submit(encodeFrame(encodeTombstonePayload(bj.sid)), bj.sid, flagTombstone, true)
 }
 
 // CreateJournal registers a new session id and returns its journal. The
@@ -614,7 +753,14 @@ func (e *binaryEngine) ensureScanned() error {
 	if e.scanned {
 		return nil
 	}
-	sessions, err := e.scanWal(true)
+	segs, err := e.listSegments()
+	if err != nil {
+		return err
+	}
+	// ids-only mode: sealed segments with an index footer contribute their
+	// session ids without a single frame read, so a server that skips
+	// Recover starts in O(footers) instead of O(wal bytes).
+	sessions, err := e.scanSegments(segs, walScanOptions{truncateTail: true, idsOnly: true})
 	if err != nil {
 		return err
 	}
@@ -661,6 +807,10 @@ func (e *binaryEngine) RecoverSessions() ([]RecoveredSession, error) {
 	if e.started {
 		e.mu.Unlock()
 		return nil, fmt.Errorf("store: recover after appends have started")
+	}
+	if e.compacting {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("store: recover while a compaction is running")
 	}
 	sessions, err := e.scanWal(true)
 	if err != nil {
@@ -751,90 +901,165 @@ type scanSession struct {
 	gapped bool
 }
 
-// scanWal replays every segment. With truncate set, a structurally torn
-// tail in the final segment is cut off on disk (and fsynced) exactly like
-// the text engine truncates a torn JSONL line.
+// walScanOptions selects a scan variant.
+type walScanOptions struct {
+	// truncateTail cuts a structurally torn tail of the final segment off
+	// on disk (and fsyncs), exactly like the text engine truncates a torn
+	// JSONL line. Only safe before the writer's first append.
+	truncateTail bool
+	// idsOnly skips record accumulation: sealed segments with a valid
+	// index footer contribute their session ids without a single frame
+	// being read, and frames that are decoded only update id-level state.
+	idsOnly bool
+}
+
+// scanWal replays every segment, streaming each one frame at a time.
 func (e *binaryEngine) scanWal(truncate bool) (map[string]*scanSession, error) {
 	segs, err := e.listSegments()
 	if err != nil {
 		return nil, err
 	}
+	return e.scanSegments(segs, walScanOptions{truncateTail: truncate})
+}
+
+// scanSegments replays the given segments in index order. The last listed
+// segment is treated as the (possibly torn) tail; every earlier one is
+// sealed: structural damage there skips to the next footer-known frame
+// boundary when the segment has an index footer, or to the next segment
+// when it does not.
+func (e *binaryEngine) scanSegments(segs []segInfo, opts walScanOptions) (map[string]*scanSession, error) {
 	sessions := make(map[string]*scanSession)
+	session := func(sid string) *scanSession {
+		sc := sessions[sid]
+		if sc == nil {
+			sc = &scanSession{}
+			sessions[sid] = sc
+		}
+		return sc
+	}
 	for si, seg := range segs {
 		last := si == len(segs)-1
-		data, err := os.ReadFile(seg.path)
-		if err != nil {
-			return nil, fmt.Errorf("store: read segment %s: %w", seg.path, err)
+		if opts.idsOnly && !last {
+			if entries, _, ok := readSegmentFooter(seg.path, seg.size); ok {
+				for _, ent := range entries {
+					sc := session(ent.sid)
+					sc.tombstoned = sc.tombstoned || ent.tombstoned
+					sc.finished = sc.finished || ent.finished
+				}
+				e.m.footerHits.Add(1)
+				continue
+			}
+			e.m.footerFallbacks.Add(1)
 		}
-		off := 0
-		for off < len(data) {
-			frameLen, ok := frameAt(data, off)
-			if !ok {
-				// Structural damage: a short header, an implausible length
-				// or a length overrunning the segment. In the final segment
-				// this is a torn write — truncate it away; in an earlier
-				// (sealed) segment nothing after it can be framed, so the
-				// rest of the segment is skipped and counted.
-				if last && truncate {
-					if err := truncateSegment(seg.path, off); err != nil {
-						return nil, err
-					}
-					e.m.truncatedJournals.Add(1)
-				} else if !last {
-					e.m.corruptFrames.Add(1)
-				} else {
-					e.m.truncatedJournals.Add(1)
-				}
-				break
-			}
-			payload := data[off+frameHeaderSize : off+frameHeaderSize+frameLen]
-			if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4:]) {
-				if last {
-					// A CRC failure at the tail is indistinguishable from a
-					// torn write; stop (and truncate) here.
-					if truncate {
-						if err := truncateSegment(seg.path, off); err != nil {
-							return nil, err
-						}
-					}
-					e.m.truncatedJournals.Add(1)
-					break
-				}
-				// Mid-log bit flip in a sealed segment: the framing is
-				// intact, so skip just this frame. The per-session sequence
-				// check below truncates the affected session at the gap.
-				e.m.corruptFrames.Add(1)
-				off += frameHeaderSize + frameLen
-				continue
-			}
-			df, err := decodePayload(payload)
-			if err != nil {
-				e.m.corruptFrames.Add(1)
-				off += frameHeaderSize + frameLen
-				continue
-			}
-			applyFrame(sessions, df, &e.m)
-			off += frameHeaderSize + frameLen
+		if err := e.scanSegmentFrames(seg, last, opts, sessions, session); err != nil {
+			return nil, err
 		}
 	}
 	return sessions, nil
 }
 
-// frameAt validates the frame header at off and returns the payload
-// length.
-func frameAt(data []byte, off int) (int, bool) {
-	if len(data)-off < frameHeaderSize {
-		return 0, false
+// scanSegmentFrames streams one segment's frames into the scan state.
+func (e *binaryEngine) scanSegmentFrames(seg segInfo, last bool, opts walScanOptions, sessions map[string]*scanSession, session func(string) *scanSession) error {
+	sc, err := openFrameScanner(seg.path)
+	if err != nil {
+		return err
 	}
-	frameLen := int(binary.LittleEndian.Uint32(data[off:]))
-	if frameLen > maxFrameSize || off+frameHeaderSize+frameLen > len(data) {
-		return 0, false
+	defer sc.close()
+	// resync holds the segment's footer-known frame boundaries, loaded
+	// lazily at the first structural fault; nil until then, empty when the
+	// segment has no usable footer.
+	var resyncOffsets []int64
+	resyncLoaded := false
+	for {
+		fr, err := sc.next()
+		switch {
+		case err == io.EOF:
+			return nil
+		case errors.Is(err, errTornFrame):
+			if last {
+				// A torn tail: everything from here on was mid-write at the
+				// crash. Truncate it away when repairing.
+				if opts.truncateTail {
+					if err := truncateSegment(seg.path, fr.off); err != nil {
+						return err
+					}
+				}
+				e.m.truncatedJournals.Add(1)
+				return nil
+			}
+			// Structural damage in a sealed segment: framing is lost. With
+			// an index footer the scan jumps to the next known frame
+			// boundary; without one the rest of the segment is skipped.
+			e.m.corruptFrames.Add(1)
+			if !resyncLoaded {
+				resyncLoaded = true
+				if entries, indexOff, ok := readSegmentFooter(seg.path, seg.size); ok {
+					resyncOffsets = footerOffsets(entries, indexOff)
+					e.m.footerHits.Add(1)
+				} else {
+					e.m.footerFallbacks.Add(1)
+				}
+			}
+			next, ok := nextOffsetAfter(resyncOffsets, fr.off)
+			if !ok {
+				return nil
+			}
+			if err := sc.resync(next); err != nil {
+				return err
+			}
+		case errors.Is(err, errBadCRC):
+			if last {
+				// A CRC failure at the tail is indistinguishable from a torn
+				// write; stop (and truncate) here.
+				if opts.truncateTail {
+					if err := truncateSegment(seg.path, fr.off); err != nil {
+						return err
+					}
+				}
+				e.m.truncatedJournals.Add(1)
+				return nil
+			}
+			// Mid-log bit flip in a sealed segment: the framing is intact,
+			// so skip just this frame. The per-session sequence check then
+			// truncates the affected session at the gap.
+			e.m.corruptFrames.Add(1)
+		case err != nil:
+			return err
+		default:
+			df, err := decodePayload(fr.payload)
+			if err != nil {
+				e.m.corruptFrames.Add(1)
+				continue
+			}
+			if df.flag == flagIndex || df.flag == flagTrailer {
+				continue
+			}
+			if opts.idsOnly {
+				s := session(df.sid)
+				switch df.flag {
+				case flagTombstone:
+					s.tombstoned = true
+				case flagTerminal, flagSummary:
+					s.finished = true
+				}
+				continue
+			}
+			applyFrame(sessions, df, &e.m)
+		}
 	}
-	return frameLen, true
 }
 
-func truncateSegment(path string, size int) error {
-	if err := os.Truncate(path, int64(size)); err != nil {
+// nextOffsetAfter returns the smallest offset strictly greater than off.
+func nextOffsetAfter(offsets []int64, off int64) (int64, bool) {
+	i := sort.Search(len(offsets), func(i int) bool { return offsets[i] > off })
+	if i == len(offsets) {
+		return 0, false
+	}
+	return offsets[i], true
+}
+
+func truncateSegment(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
 		return fmt.Errorf("store: truncate segment %s: %w", path, err)
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
@@ -936,21 +1161,45 @@ func (e *binaryEngine) repairCompaction() error {
 
 // Compact rewrites the wal: tombstoned sessions disappear, finished
 // sessions collapse to one summary frame each, live sessions carry their
-// full record list over, and every old segment is retired. It must run
-// before any journal is created or recovered (gpsd runs it at boot with
-// -compact). The rewrite is crash-safe: the new wal is fully written and
-// fsynced in a side directory, then swapped in with two renames that
-// repairCompaction can always finish or undo.
+// full record list over, and dead segments are retired. Before any
+// journal exists (gpsd -compact at boot) the whole wal is rewritten with
+// the engine quiescent; once journals are out — appends possibly in
+// flight — Compact switches to the live protocol: the writer goroutine
+// seals the active segment, only the sealed segments are compacted, and
+// the swap hard-links the segments written meanwhile into the new wal so
+// the writer's open file descriptor survives the rename. Both modes share
+// the crash-safe swap: wal.compact is fully fsynced before the first
+// rename, and repairCompaction can always finish or undo the two-rename
+// swap. A second Compact while one is running fails with ErrCompacting.
 func (e *binaryEngine) Compact() (CompactionReport, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	rep := CompactionReport{Supported: true}
 	if e.closed {
+		e.mu.Unlock()
 		return rep, fmt.Errorf("store: engine is closed")
 	}
-	if e.started || e.journalsActive > 0 {
-		return rep, fmt.Errorf("store: compact with %d active journals (compact must run before recovery hands out journals)", e.journalsActive)
+	if e.compacting {
+		e.mu.Unlock()
+		return rep, fmt.Errorf("store: %w", ErrCompacting)
 	}
+	e.compacting = true
+	if !e.started && e.journalsActive == 0 {
+		defer e.mu.Unlock()
+		defer func() { e.compacting = false }()
+		return e.compactOffline()
+	}
+	e.mu.Unlock()
+	rep, err := e.compactLive()
+	e.mu.Lock()
+	e.compacting = false
+	e.mu.Unlock()
+	return rep, err
+}
+
+// compactOffline rewrites the whole wal while the engine is quiescent.
+// Caller holds e.mu.
+func (e *binaryEngine) compactOffline() (CompactionReport, error) {
+	rep := CompactionReport{Supported: true}
 	sessions, err := e.scanWal(true)
 	if err != nil {
 		return rep, err
@@ -963,46 +1212,17 @@ func (e *binaryEngine) Compact() (CompactionReport, error) {
 		rep.BytesBefore += s.size
 	}
 	rep.SegmentsRetired = len(segs)
-
-	// Deterministic rewrite order keeps equivalence tests simple.
-	sids := make([]string, 0, len(sessions))
-	for sid := range sessions {
-		sids = append(sids, sid)
-	}
-	sort.Strings(sids)
-
-	if err := os.RemoveAll(e.compactDir()); err != nil {
-		return rep, fmt.Errorf("store: compact: %w", err)
-	}
-	if err := os.MkdirAll(e.compactDir(), 0o755); err != nil {
-		return rep, fmt.Errorf("store: compact: %w", err)
-	}
-	cw := &compactWriter{dir: e.compactDir(), limit: e.segmentSize}
-	for _, sid := range sids {
-		sc := sessions[sid]
-		switch {
-		case sc.tombstoned:
-			rep.SessionsDropped++
-		case sc.finished:
-			if err := cw.write(encodeFrame(encodeSummaryPayload(sid, summarizeFinished(sc.recs)))); err != nil {
-				return rep, err
-			}
-			rep.SessionsCompacted++
-		default:
-			for _, rec := range sc.recs {
-				if err := cw.write(encodeFrame(encodeRecordPayload(flagData, sid, rec))); err != nil {
-					return rep, err
-				}
-			}
-		}
-	}
-	if err := cw.finish(); err != nil {
+	cw, err := e.writeCompacted(sessions, 0, &rep)
+	if err != nil {
 		return rep, err
 	}
 	rep.SegmentsWritten = cw.segments
 	rep.BytesAfter = cw.bytes
 
 	// The swap. wal.compact is durable; two renames move it into place.
+	if err := os.RemoveAll(e.oldDir()); err != nil {
+		return rep, fmt.Errorf("store: compact: %w", err)
+	}
 	if err := os.Rename(e.walDir(), e.oldDir()); err != nil {
 		return rep, fmt.Errorf("store: compact: %w", err)
 	}
@@ -1031,6 +1251,192 @@ func (e *binaryEngine) Compact() (CompactionReport, error) {
 	return rep, nil
 }
 
+// compactLive compacts the wal while appends continue. The writer
+// goroutine is asked (via control requests, each running between two
+// commit batches) to do the only two steps that must exclude appends:
+// sealing the active segment and swapping the directories. Everything in
+// between — scanning the sealed segments and writing wal.compact — runs
+// on the calling goroutine with appends flowing into fresh segments
+// beyond the seal boundary.
+func (e *binaryEngine) compactLive() (CompactionReport, error) {
+	rep := CompactionReport{Supported: true}
+	if err := e.faultPoint("compact-begin"); err != nil {
+		return rep, err
+	}
+	var boundary uint64
+	err := e.control(func() error {
+		if e.segErr != nil {
+			return e.segErr
+		}
+		if err := e.sealCurrent(); err != nil {
+			e.segErr = err
+			return err
+		}
+		// The sealed tail must not be reopened by a later rotate; the next
+		// commit starts a fresh segment beyond the boundary.
+		e.tailTried = true
+		boundary = e.nextSeg
+		return nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	segs, err := e.listSegments()
+	if err != nil {
+		return rep, err
+	}
+	sealed := segs[:0:0]
+	for _, s := range segs {
+		if s.idx <= boundary {
+			sealed = append(sealed, s)
+		}
+	}
+	if len(sealed) == 0 {
+		return rep, nil
+	}
+	for _, s := range sealed {
+		rep.BytesBefore += s.size
+	}
+	rep.SegmentsRetired = len(sealed)
+
+	// Every sealed segment is immutable now, so this scan cannot race the
+	// writer; no torn-tail truncation (the boundary segment ends at a
+	// clean seal or wherever the last commit left it).
+	sessions, err := e.scanSegments(sealed, walScanOptions{})
+	if err != nil {
+		return rep, err
+	}
+	if err := e.faultPoint("compact-scanned"); err != nil {
+		return rep, err
+	}
+	cw, err := e.writeCompacted(sessions, boundary, &rep)
+	if err != nil {
+		return rep, err
+	}
+	rep.SegmentsWritten = cw.segments
+	rep.BytesAfter = cw.bytes
+	if err := e.faultPoint("compact-written"); err != nil {
+		return rep, err
+	}
+	if err := e.control(func() error { return e.swapCompacted(boundary) }); err != nil {
+		return rep, err
+	}
+	e.m.compactionRuns.Add(1)
+	e.m.compactedSessions.Add(int64(rep.SessionsCompacted))
+	e.m.retiredSegments.Add(int64(rep.SegmentsRetired))
+	if err := e.faultPoint("compact-done"); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// writeCompacted writes the compacted form of the scanned sessions into a
+// fresh wal.compact and makes it durable. maxSeg bounds the output
+// segment indices (live mode: they must stay at or below the seal
+// boundary so they sort before, and never collide with, the segments the
+// writer keeps creating); 0 means unbounded.
+func (e *binaryEngine) writeCompacted(sessions map[string]*scanSession, maxSeg uint64, rep *CompactionReport) (*compactWriter, error) {
+	// Deterministic rewrite order keeps equivalence tests simple.
+	sids := make([]string, 0, len(sessions))
+	for sid := range sessions {
+		sids = append(sids, sid)
+	}
+	sort.Strings(sids)
+
+	if err := os.RemoveAll(e.compactDir()); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.MkdirAll(e.compactDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	cw := &compactWriter{dir: e.compactDir(), limit: e.segmentSize, maxSeg: maxSeg, m: &e.m}
+	for _, sid := range sids {
+		sc := sessions[sid]
+		switch {
+		case sc.tombstoned:
+			rep.SessionsDropped++
+		case sc.finished:
+			if err := cw.write(encodeFrame(encodeSummaryPayload(sid, summarizeFinished(sc.recs))), sid, flagSummary); err != nil {
+				return nil, err
+			}
+			rep.SessionsCompacted++
+		default:
+			for _, rec := range sc.recs {
+				if err := cw.write(encodeFrame(encodeRecordPayload(flagData, sid, rec)), sid, flagData); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := cw.finish(); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+// swapCompacted moves wal.compact into place while the writer (which runs
+// this as a control request) holds appends back. Segments created since
+// the seal boundary are hard-linked into the new wal first: the links
+// preserve the inodes, so the writer's open segment file descriptor stays
+// valid across the rename and appends resume on the same file the moment
+// the swap ends. A failure between the two renames poisons the engine —
+// the wal directory is gone and only a restart (repairCompaction) can
+// recover it.
+func (e *binaryEngine) swapCompacted(boundary uint64) error {
+	if e.segErr != nil {
+		return e.segErr
+	}
+	if err := e.faultPoint("compact-swap-begin"); err != nil {
+		return err
+	}
+	segs, err := e.listSegments()
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if s.idx <= boundary {
+			continue
+		}
+		if err := os.Link(s.path, filepath.Join(e.compactDir(), filepath.Base(s.path))); err != nil {
+			return fmt.Errorf("store: compact: link live segment: %w", err)
+		}
+	}
+	if err := syncDir(e.compactDir()); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := e.faultPoint("compact-linked"); err != nil {
+		return err
+	}
+	if err := os.RemoveAll(e.oldDir()); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(e.walDir(), e.oldDir()); err != nil {
+		e.segErr = fmt.Errorf("store: compact: %w", err)
+		return e.segErr
+	}
+	if err := e.faultPoint("compact-swap-mid"); err != nil {
+		e.segErr = err
+		return err
+	}
+	if err := os.Rename(e.compactDir(), e.walDir()); err != nil {
+		e.segErr = fmt.Errorf("store: compact: %w", err)
+		return e.segErr
+	}
+	if err := syncDir(e.dir); err != nil {
+		e.segErr = fmt.Errorf("store: compact: %w", err)
+		return e.segErr
+	}
+	if err := e.faultPoint("compact-swapped"); err != nil {
+		// The swap is complete and consistent; only the wal.old cleanup was
+		// skipped, which the next open's repairCompaction removes.
+		return err
+	}
+	if err := os.RemoveAll(e.oldDir()); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	return nil
+}
+
 // summarizeFinished collapses a finished transcript to its opening record
 // and its terminal record, renumbered from 1. The service's record schema
 // opens every journal with a create record and closes a finished one with
@@ -1049,19 +1455,25 @@ func summarizeFinished(recs []Record) []Record {
 	return out
 }
 
-// compactWriter rolls compacted frames into fresh, fsynced segments.
+// compactWriter rolls compacted frames into fresh, fsynced segments, each
+// sealed with an index footer. maxSeg, when non-zero, caps the output
+// segment indices: the last segment overpacks past the size limit rather
+// than colliding with a live segment beyond the seal boundary.
 type compactWriter struct {
 	dir      string
 	limit    int64
+	maxSeg   uint64
+	m        *metrics
 	f        *os.File
 	off      int64
 	idx      uint64
 	segments int
 	bytes    int64
+	index    *segIndexBuilder
 }
 
-func (w *compactWriter) write(frame []byte) error {
-	if w.f == nil || w.off >= w.limit {
+func (w *compactWriter) write(frame []byte, sid string, flag byte) error {
+	if w.f == nil || (w.off >= w.limit && (w.maxSeg == 0 || w.idx < w.maxSeg)) {
 		if err := w.closeCurrent(); err != nil {
 			return err
 		}
@@ -1073,7 +1485,9 @@ func (w *compactWriter) write(frame []byte) error {
 		w.f = f
 		w.off = 0
 		w.segments++
+		w.index = newSegIndexBuilder()
 	}
+	w.index.add(sid, flag, w.off)
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
@@ -1086,6 +1500,18 @@ func (w *compactWriter) closeCurrent() error {
 	if w.f == nil {
 		return nil
 	}
+	if w.index != nil && !w.index.empty() {
+		footer := encodeSegmentFooter(w.index.entries(), w.off)
+		if _, err := w.f.Write(footer); err != nil {
+			w.f.Close()
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		w.off += int64(len(footer))
+		w.bytes += int64(len(footer))
+		if w.m != nil {
+			w.m.footersWritten.Add(1)
+		}
+	}
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return fmt.Errorf("store: compact: %w", err)
@@ -1094,6 +1520,7 @@ func (w *compactWriter) closeCurrent() error {
 		return fmt.Errorf("store: compact: %w", err)
 	}
 	w.f = nil
+	w.index = nil
 	return nil
 }
 

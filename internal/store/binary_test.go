@@ -279,7 +279,9 @@ func TestBinaryMidLogCorruption(t *testing.T) {
 	e.Close()
 
 	// Flip a payload byte of session aaaa's second record (segment 3:
-	// appends interleave a1 b1 a2 b2 ...).
+	// appends interleave a1 b1 a2 b2 ...). The flip lands in the data
+	// frame at the segment's start — the seal appends an index footer
+	// after it, which must keep checking out.
 	matches, err := filepath.Glob(filepath.Join(dir, "wal", "seg-*.seg"))
 	if err != nil || len(matches) < 8 {
 		t.Fatalf("expected one frame per segment, got %v", matches)
@@ -288,7 +290,7 @@ func TestBinaryMidLogCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)-1] ^= 0x01
+	data[frameHeaderSize+1] ^= 0x01
 	if err := os.WriteFile(matches[2], data, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -488,13 +490,45 @@ func TestBinaryCompaction(t *testing.T) {
 	}
 }
 
-func TestBinaryCompactRefusedAfterJournals(t *testing.T) {
-	e := openBinaryT(t, t.TempDir(), EngineOptions{})
-	if _, err := e.CreateJournal("s0001"); err != nil {
+// TestBinaryCompactLiveAfterJournals: once journals are out, Compact
+// switches to the live protocol instead of refusing — it seals the active
+// segment, rewrites the sealed ones and keeps every acked record, with
+// the journals still appendable afterwards.
+func TestBinaryCompactLiveAfterJournals(t *testing.T) {
+	dir := t.TempDir()
+	e := openBinaryT(t, dir, EngineOptions{SegmentSize: 128})
+	jr, err := e.CreateJournal("s0001")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Compact(); err == nil {
-		t.Fatal("compact with active journals must fail")
+	appendN(t, jr, 5)
+	done, err := e.CreateJournal("s0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, done, 3)
+	if err := done.AppendTerminal("done", testPayload{S: "final"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Supported || rep.SessionsCompacted != 1 || rep.SegmentsRetired == 0 {
+		t.Fatalf("live compaction report %+v", rep)
+	}
+	// The journal handed out before the compaction keeps working.
+	if err := jr.Append("event", testPayload{N: 6}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e2 := openBinaryT(t, dir, EngineOptions{})
+	recs := recsOf(t, e2)
+	if got := recs["s0001"]; len(got) != 6 {
+		t.Fatalf("live session = %d records, want 6", len(got))
+	}
+	if got := recs["s0002"]; len(got) != 2 {
+		t.Fatalf("finished session = %+v, want its 2-record summary", got)
 	}
 }
 

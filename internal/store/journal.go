@@ -1,9 +1,10 @@
 package store
 
 import (
-	"bytes"
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -297,32 +298,45 @@ func recoverSessionDir(dir string, m *metrics) ([]RecoveredSession, error) {
 }
 
 // recoverJournalFile replays one JSONL journal file, truncates any torn
-// tail and reopens the file for appending.
+// tail and reopens the file for appending. The file is streamed line by
+// line — recovery memory is bounded by the longest line, not the journal
+// size.
 func recoverJournalFile(id, path string, m *metrics) (*Journal, error) {
-	data, err := os.ReadFile(path)
+	rf, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: recover journal %s: %w", id, err)
 	}
+	fi, err := rf.Stat()
+	if err != nil {
+		rf.Close()
+		return nil, fmt.Errorf("store: recover journal %s: %w", id, err)
+	}
 	var recs []Record
-	valid := 0 // byte length of the valid prefix
-	for valid < len(data) {
-		nl := bytes.IndexByte(data[valid:], '\n')
-		if nl < 0 {
-			break // torn final line: the append crashed mid-write
+	var valid int64 // byte length of the valid prefix
+	br := bufio.NewReaderSize(rf, 1<<16)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			break // no trailing newline: the append crashed mid-write
+		}
+		if err != nil {
+			rf.Close()
+			return nil, fmt.Errorf("store: recover journal %s: %w", id, err)
 		}
 		var rec Record
-		if err := json.Unmarshal(data[valid:valid+nl], &rec); err != nil {
+		if err := json.Unmarshal(line[:len(line)-1], &rec); err != nil {
 			break
 		}
 		if rec.Seq != uint64(len(recs))+1 {
 			break // sequence gap: records after it cannot be trusted
 		}
 		recs = append(recs, rec)
-		valid += nl + 1
+		valid += int64(len(line))
 	}
-	truncated := valid < len(data)
+	rf.Close()
+	truncated := valid < fi.Size()
 	if truncated {
-		if err := os.Truncate(path, int64(valid)); err != nil {
+		if err := os.Truncate(path, valid); err != nil {
 			return nil, fmt.Errorf("store: truncate journal %s: %w", id, err)
 		}
 		m.truncatedJournals.Add(1)

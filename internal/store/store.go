@@ -30,6 +30,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -38,6 +39,10 @@ import (
 
 	"repro/internal/graph"
 )
+
+// ErrCompacting is returned by Compact when another compaction is already
+// running on the engine (match with errors.Is).
+var ErrCompacting = errors.New("compaction already running")
 
 // Engine is the storage abstraction the service layer is wired to: append
 // (CreateJournal + Journal.Append), snapshot (SaveGraph/DeleteGraph),
@@ -65,8 +70,10 @@ type Engine interface {
 	// Compact rewrites the journal storage dropping dead data: removed
 	// sessions disappear, finished sessions collapse to a single summary
 	// record, dead segments are retired. Engines without a compactable
-	// representation return a report with Supported=false. Compact must be
-	// called before any journal is created or recovered.
+	// representation return a report with Supported=false. The binary
+	// engine compacts live — with journals out and appends in flight —
+	// by sealing the active segment and rewriting only the sealed ones;
+	// a concurrent second call fails with ErrCompacting.
 	Compact() (CompactionReport, error)
 	// Metrics returns a point-in-time snapshot of the engine's counters.
 	Metrics() Metrics
@@ -95,6 +102,12 @@ type EngineOptions struct {
 	// SegmentSize is the binary engine's segment roll-over threshold in
 	// bytes (default 4 MiB).
 	SegmentSize int64
+	// Fault, when set, is called at named points of the binary engine's
+	// compaction protocol ("compact-scanned", "compact-swap-mid", ...).
+	// A chaos harness kills the process from the hook to prove crash
+	// safety at that exact point; returning a non-nil error aborts the
+	// protocol there instead. Nil in production.
+	Fault func(point string) error
 }
 
 // OpenEngine creates (if needed) and opens a data directory with the
@@ -138,6 +151,9 @@ type metrics struct {
 	compactionRuns    atomic.Int64
 	compactedSessions atomic.Int64
 	retiredSegments   atomic.Int64
+	footersWritten    atomic.Int64
+	footerHits        atomic.Int64
+	footerFallbacks   atomic.Int64
 }
 
 // Metrics is a point-in-time snapshot of an engine's counters, shaped for
@@ -180,6 +196,13 @@ type Metrics struct {
 	CompactionRuns    int64 `json:"compaction_runs,omitempty"`
 	CompactedSessions int64 `json:"compacted_sessions,omitempty"`
 	RetiredSegments   int64 `json:"retired_segments,omitempty"`
+	// FootersWritten counts segment index footers written at seal time;
+	// FooterHits counts scans served from a footer (id enumeration or
+	// damage resync) and FooterFallbacks the sealed-segment scans that had
+	// to read every frame for lack of a usable footer (binary engine only).
+	FootersWritten  int64 `json:"wal_footers_written,omitempty"`
+	FooterHits      int64 `json:"wal_footer_hits,omitempty"`
+	FooterFallbacks int64 `json:"wal_footer_fallbacks,omitempty"`
 }
 
 // snapshot fills the shared counter fields of a Metrics.
@@ -201,6 +224,9 @@ func (m *metrics) snapshot(engine string) Metrics {
 		CompactionRuns:    m.compactionRuns.Load(),
 		CompactedSessions: m.compactedSessions.Load(),
 		RetiredSegments:   m.retiredSegments.Load(),
+		FootersWritten:    m.footersWritten.Load(),
+		FooterHits:        m.footerHits.Load(),
+		FooterFallbacks:   m.footerFallbacks.Load(),
 	}
 	if out.Fsyncs > 0 {
 		out.FsyncMeanMicros = float64(m.fsyncNanos.Load()) / float64(out.Fsyncs) / 1e3

@@ -2,13 +2,16 @@
 # Smoke test for the gpsd service, run once per storage engine (binary and
 # text): start the server durable, load graphs, run one simulated learning
 # session to convergence over HTTP, evaluate a query, read the stats —
-# then SIGTERM the server mid-manual-session and verify that graphs, the
-# finished session and the parked manual session (hypothesis included) all
-# survive the restart, and that the SSE event stream replays the journal.
-# Also checks that a second daemon on the same data dir fails fast on the
-# LOCK file, and (binary engine) that a -compact restart keeps the
-# finished session inspectable. Used by CI; runnable locally with
-# ./scripts/smoke_gpsd.sh [engine ...].
+# then kill the server mid-manual-session — first a graceful SIGTERM,
+# then a hard SIGKILL — and verify that graphs, the finished session and
+# the parked manual session (hypothesis included) all survive each
+# restart, and that the SSE event stream replays the journal. The kill
+# matrix also pins the LOCK protocol: a second daemon on the same data dir
+# fails fast, a SIGKILLed daemon leaks its LOCK file and the next boot
+# breaks the stale lock, a clean SIGTERM removes it. Binary engine only:
+# a -compact restart keeps the finished session inspectable and
+# POST /v1/admin/compact compacts a serving daemon. Used by CI; runnable
+# locally with ./scripts/smoke_gpsd.sh [engine ...].
 set -euo pipefail
 
 ADDR="${GPSD_ADDR:-127.0.0.1:18080}"
@@ -45,6 +48,14 @@ start_server() {
 
 stop_server() {
   kill -TERM "$GPSD_PID"
+  wait "$GPSD_PID" 2>/dev/null || true
+  GPSD_PID=""
+}
+
+# kill_server — SIGKILL, no grace: simulates a crash or OOM kill. The
+# LOCK file is deliberately left behind (nothing ran the cleanup).
+kill_server() {
+  kill -KILL "$GPSD_PID"
   wait "$GPSD_PID" 2>/dev/null || true
   GPSD_PID=""
 }
@@ -163,6 +174,26 @@ run_engine() {
   curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats_after.json
   grep -q '"sessions_resumed": 1' /tmp/gpsd_stats_after.json
 
+  # --- SIGKILL recovery ----------------------------------------------------
+  # A hard kill gets no cleanup: the LOCK file must be leaked, the next
+  # boot must break the stale lock (its owner is dead, so the flock is
+  # free) and every session must come back exactly as before.
+  kill_server
+  [ -f "$DATA_DIR/LOCK" ] || { echo "SIGKILL must leak the LOCK file" >&2; exit 1; }
+  start_server
+  curl -fsS "$BASE/v1/sessions/$SID" | grep -q '"halt": "user-satisfied"'
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
+    sleep 0.1
+  done
+  curl -fsS "$BASE/v1/sessions/$MID" >/tmp/gpsd_manual_sigkill.json
+  diff /tmp/gpsd_manual_before.json /tmp/gpsd_manual_sigkill.json
+
+  # Admin-triggered compaction works on a serving daemon (the text engine
+  # reports supported=false, the binary engine compacts live).
+  curl -fsS -X POST "$BASE/v1/admin/compact" | tee /tmp/gpsd_admin_compact.json
+  grep -q '"supported"' /tmp/gpsd_admin_compact.json
+
   if [ "$ENGINE" = "binary" ]; then
     # --- Compacted restart -------------------------------------------------
     # A -compact boot rewrites the wal: the finished session collapses to
@@ -185,6 +216,8 @@ run_engine() {
   fi
 
   stop_server
+  # A graceful shutdown releases the data directory cleanly.
+  [ ! -f "$DATA_DIR/LOCK" ] || { echo "SIGTERM must remove the LOCK file" >&2; exit 1; }
   echo "=== smoke: $ENGINE engine passed ==="
 }
 
