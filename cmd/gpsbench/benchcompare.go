@@ -105,6 +105,7 @@ func runBenchCompare(baselinePath, currentPath string, threshold float64) error 
 				median, 1+threshold))
 		}
 	}
+	printTrend(currentPath, "median ns/op", "ns", true, medianNsFromSummary)
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "benchcmp: REGRESSION: %s\n", f)

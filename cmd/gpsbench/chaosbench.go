@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -44,6 +45,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -204,6 +206,19 @@ func (c *chaosClient) getJSON(path string, out any) (int, error) {
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+func (c *chaosClient) getText(path string) (int, string, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, string(data), nil
 }
 
 func (c *chaosClient) postJSON(path string, body, out any) (int, error) {
@@ -621,18 +636,59 @@ func (c *chaosRun) exited() bool { return c.waitExit(0) }
 
 // readStats folds the daemon's store counters into the current epoch and
 // flags any corrupt frame on the spot: crashes tear tails (truncated, by
-// design) but must never corrupt a sealed frame.
+// design) but must never corrupt a sealed frame. The counters come from
+// the Prometheus exposition at /metrics, not the JSON stats, so the chaos
+// run also proves the scrape surface stays accurate across every crash.
 func (c *chaosRun) readStats() {
-	var stats struct {
-		Store *chaosStoreStats `json:"store"`
-	}
-	if code, err := c.client.getJSON("/v1/stats", &stats); err != nil || code != http.StatusOK || stats.Store == nil {
+	code, body, err := c.client.getText("/metrics")
+	if err != nil || code != http.StatusOK {
 		return
 	}
-	if stats.Store.CorruptFrames > 0 && c.cur.CorruptFrames == 0 {
-		c.rep.violatef("store reports %d corrupt frames", stats.Store.CorruptFrames)
+	stats, ok := parseStoreMetrics(body)
+	if !ok {
+		c.rep.violatef("/metrics scrape is missing the gpsd_store_* counters")
+		return
 	}
-	c.cur = *stats.Store
+	if stats.CorruptFrames > 0 && c.cur.CorruptFrames == 0 {
+		c.rep.violatef("store reports %d corrupt frames (via /metrics)", stats.CorruptFrames)
+	}
+	c.cur = stats
+}
+
+// parseStoreMetrics pulls the store counters the chaos invariants need out
+// of a raw /metrics exposition body.
+func parseStoreMetrics(body string) (chaosStoreStats, bool) {
+	var s chaosStoreStats
+	found := false
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		var dst *int64
+		switch {
+		case strings.HasPrefix(line, "gpsd_store_compaction_runs_total"):
+			dst = &s.CompactionRuns
+		case strings.HasPrefix(line, "gpsd_store_retired_segments_total"):
+			dst = &s.RetiredSegments
+		case strings.HasPrefix(line, "gpsd_store_corrupt_frames_total"):
+			dst = &s.CorruptFrames
+		case strings.HasPrefix(line, "gpsd_store_truncated_journals_total"):
+			dst = &s.Truncated
+		default:
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		*dst = int64(v)
+		found = true
+	}
+	return s, found
 }
 
 // finishEpoch folds the dead process's last observed counters into the

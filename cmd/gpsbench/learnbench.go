@@ -282,6 +282,7 @@ func runLearnBench(outPath string, seed int64) error {
 		return fmt.Errorf("learnbench: %w", err)
 	}
 	fmt.Printf("wrote %s\n", outPath)
+	appendBenchHistory(outPath, summary)
 	return nil
 }
 
@@ -304,6 +305,7 @@ func runLearnGate(path string, minSpeedup float64) error {
 	}
 	fmt.Printf("learngate: 60x60 Learn speedup %.2fx (floor %.2fx), merge check %d allocs/op\n",
 		summary.Speedup60, minSpeedup, summary.MergeCheckAllocs)
+	printTrend(path, "speedup_60x60", "x", false, floatFieldFromSummary("speedup_60x60"))
 	if summary.Speedup60 < minSpeedup {
 		return fmt.Errorf("learngate: dense/reference 60x60 speedup %.2fx is below the %.2fx floor",
 			summary.Speedup60, minSpeedup)

@@ -138,5 +138,6 @@ func runRPQBench(outPath string, seed int64) error {
 		return fmt.Errorf("rpqbench: %w", err)
 	}
 	fmt.Printf("wrote %s\n", outPath)
+	appendBenchHistory(outPath, payload)
 	return nil
 }

@@ -241,6 +241,7 @@ func runStoreBench(outPath string, seed int64, interval time.Duration) error {
 		return fmt.Errorf("storebench: %w", err)
 	}
 	fmt.Printf("wrote %s\n", outPath)
+	appendBenchHistory(outPath, summary)
 	return nil
 }
 
@@ -262,6 +263,7 @@ func runStoreGate(path string, minSpeedup float64) error {
 	}
 	fmt.Printf("storegate: 16-session append speedup %.2fx (floor %.2fx), recovery speedup %.2fx\n",
 		summary.Speedup16, minSpeedup, summary.RecoverySpeedup)
+	printTrend(path, "speedup_16_sessions", "x", false, floatFieldFromSummary("speedup_16_sessions"))
 	if summary.Speedup16 < minSpeedup {
 		return fmt.Errorf("storegate: binary/text 16-session speedup %.2fx is below the %.2fx floor",
 			summary.Speedup16, minSpeedup)

@@ -17,42 +17,70 @@
 //	gpsd -data-dir d -compact-interval 1m # compact live, periodically, while
 //	                                      # serving (appends keep flowing)
 //	gpsd -request-timeout 10s             # per-request deadline (SSE exempt)
+//	gpsd -log-format json -log-level debug # structured logs for ingestion
+//	gpsd -pprof-addr localhost:6060       # net/http/pprof on its own listener
 //
 // A durable gpsd takes an exclusive LOCK on its data directory, so a
 // second daemon pointed at the same directory fails fast instead of
-// corrupting it. See the README's "Service" and "Storage engines"
-// sections for the API and on-disk layout.
+// corrupting it. See the README's "Service" and "Observability" sections
+// for the API, metrics and log surfaces.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only on -pprof-addr
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
+
+// newLogger builds the process logger from -log-format/-log-level and
+// installs it as the slog default, so library code logging through
+// slog.Default lands in the same stream.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch format {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
+	}
+	log := slog.New(h)
+	slog.SetDefault(log)
+	return log, nil
+}
 
 // crashFault arms the store's fault-injection hook from the environment:
 // GPSD_FAULT_CRASH=<point> makes the daemon exit hard (no cleanup, no lock
 // release — a faithful SIGKILL) the first time the store passes that named
 // fault point. Used by the chaos harness to park crashes inside specific
 // live-compaction phases; unset in normal operation.
-func crashFault() func(string) error {
+func crashFault(log *slog.Logger) func(string) error {
 	point := os.Getenv("GPSD_FAULT_CRASH")
 	if point == "" {
 		return nil
 	}
 	return func(p string) error {
 		if p == point {
-			log.Printf("gpsd: GPSD_FAULT_CRASH: crashing at %s", p)
+			log.Error("GPSD_FAULT_CRASH: crashing", "fault_point", p)
 			os.Exit(3)
 		}
 		return nil
@@ -73,8 +101,21 @@ func main() {
 		compactIvl  = flag.Duration("compact-interval", 0, "binary engine: run a live compaction this often while serving (0 = never); appends keep flowing during a pass")
 		segSize     = flag.Int64("segment-size", 0, "binary engine: segment roll threshold in bytes (0 = default 4MiB)")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline for non-streaming endpoints (0 = unbounded)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (own listener, e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var eng store.Engine
 	if *dataDir != "" {
@@ -83,72 +124,78 @@ func main() {
 		// writes into one directory.
 		lock, err := store.AcquireLock(*dataDir)
 		if err != nil {
-			log.Fatalf("gpsd: %v", err)
+			fatal("data directory lock", "data_dir", *dataDir, "error", err)
 		}
 		defer func() {
 			if err := lock.Release(); err != nil {
-				log.Printf("gpsd: %v", err)
+				log.Error("lock release", "data_dir", *dataDir, "error", err)
 			}
 		}()
 		eng, err = store.OpenEngine(*dataDir, store.EngineOptions{
 			Kind:           *storeEngine,
 			CommitInterval: *commitIvl,
 			SegmentSize:    *segSize,
-			Fault:          crashFault(),
+			Fault:          crashFault(log),
 		})
 		if err != nil {
-			log.Fatalf("gpsd: %v", err)
+			fatal("open store", "data_dir", *dataDir, "engine", *storeEngine, "error", err)
 		}
 		defer eng.Close()
 		if *compact {
 			rep, err := eng.Compact()
 			if err != nil {
-				log.Fatalf("gpsd: compact %s: %v", *dataDir, err)
+				fatal("startup compact", "data_dir", *dataDir, "error", err)
 			}
 			if rep.Supported {
-				log.Printf("gpsd: compacted %s: %d sessions summarised, %d dropped, %d -> %d segments, %d -> %d bytes",
-					*dataDir, rep.SessionsCompacted, rep.SessionsDropped,
-					rep.SegmentsRetired, rep.SegmentsWritten, rep.BytesBefore, rep.BytesAfter)
+				log.Info("compacted at startup",
+					"data_dir", *dataDir,
+					"sessions_compacted", rep.SessionsCompacted, "sessions_dropped", rep.SessionsDropped,
+					"segments_retired", rep.SegmentsRetired, "segments_written", rep.SegmentsWritten,
+					"bytes_before", rep.BytesBefore, "bytes_after", rep.BytesAfter)
 			} else {
-				log.Printf("gpsd: -compact: the %s engine has no compactable journal; nothing to do", eng.EngineName())
+				log.Info("-compact: engine has no compactable journal; nothing to do", "engine", eng.EngineName())
 			}
 		}
 	} else if *compact {
-		log.Fatalf("gpsd: -compact requires -data-dir")
+		fatal("-compact requires -data-dir")
 	}
+	metrics := obs.NewRegistry()
 	srv := service.NewServer(service.Options{
 		EvalWorkers:    *shards,
 		CacheCapacity:  *cacheCap,
 		MaxSessions:    *maxSess,
 		Store:          eng,
 		RequestTimeout: *reqTimeout,
+		Metrics:        metrics,
+		Logger:         log,
 	})
 	if eng != nil {
 		rep, err := srv.Recover()
 		if err != nil {
-			log.Fatalf("gpsd: recover %s: %v", *dataDir, err)
+			fatal("recover", "data_dir", *dataDir, "error", err)
 		}
-		log.Printf("gpsd: recovered from %s (%s engine): %d graphs, %d finished sessions, %d resumed sessions",
-			*dataDir, eng.EngineName(), rep.Graphs, rep.SessionsFinished, rep.SessionsResumed)
+		log.Info("recovered",
+			"data_dir", *dataDir, "engine", eng.EngineName(),
+			"graphs", rep.Graphs, "sessions_finished", rep.SessionsFinished, "sessions_resumed", rep.SessionsResumed)
 		for _, skipped := range rep.SessionsSkipped {
-			log.Printf("gpsd: recovery skipped session %s", skipped)
+			log.Warn("recovery skipped session", "detail", skipped)
 		}
 	}
 	if *preload != "" {
 		for _, arg := range strings.Split(*preload, ",") {
 			name, spec, err := service.ParsePreload(strings.TrimSpace(arg))
 			if err != nil {
-				log.Fatalf("gpsd: -preload: %v", err)
+				fatal("-preload", "error", err)
 			}
 			g, err := service.BuildGraph(spec)
 			if err != nil {
-				log.Fatalf("gpsd: -preload %s: %v", name, err)
+				fatal("-preload build", "graph", name, "error", err)
 			}
 			h, err := srv.Registry().Register(name, g)
 			if err != nil {
-				log.Fatalf("gpsd: -preload %s: %v", name, err)
+				fatal("-preload register", "graph", name, "error", err)
 			}
-			log.Printf("gpsd: registered graph %q (%d nodes, %d edges)", name, h.Graph().NumNodes(), h.Graph().NumEdges())
+			log.Info("registered graph", "graph", name, "nodes", h.Graph().NumNodes(), "edges", h.Graph().NumEdges())
 		}
 	}
 
@@ -159,7 +206,7 @@ func main() {
 	compactDone := make(chan struct{})
 	if *compactIvl > 0 {
 		if eng == nil {
-			log.Fatalf("gpsd: -compact-interval requires -data-dir")
+			fatal("-compact-interval requires -data-dir")
 		}
 		ticker := time.NewTicker(*compactIvl)
 		go func() {
@@ -174,12 +221,25 @@ func main() {
 				switch {
 				case errors.Is(err, store.ErrCompacting):
 				case err != nil:
-					log.Printf("gpsd: live compact: %v", err)
+					log.Error("live compact", "error", err)
 				case rep.Supported && rep.SegmentsRetired > 0:
-					log.Printf("gpsd: live compact: %d sessions summarised, %d dropped, %d -> %d segments, %d -> %d bytes",
-						rep.SessionsCompacted, rep.SessionsDropped,
-						rep.SegmentsRetired, rep.SegmentsWritten, rep.BytesBefore, rep.BytesAfter)
+					log.Info("live compact done",
+						"sessions_compacted", rep.SessionsCompacted, "sessions_dropped", rep.SessionsDropped,
+						"segments_retired", rep.SegmentsRetired, "segments_written", rep.SegmentsWritten,
+						"bytes_before", rep.BytesBefore, "bytes_after", rep.BytesAfter)
 				}
+			}
+		}()
+	}
+
+	// The pprof listener is separate from the API listener on purpose:
+	// profiles stay reachable when the API is saturated, and the API
+	// address can be exposed without also exposing /debug/pprof.
+	if *pprofAddr != "" {
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Error("pprof listener", "addr", *pprofAddr, "error", err)
 			}
 		}()
 	}
@@ -195,22 +255,32 @@ func main() {
 	httpSrv.RegisterOnShutdown(srv.NotifyShutdown)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("gpsd: listening on %s", *addr)
+	log.Info("listening", "addr", *addr,
+		"engine", engineName(eng), "data_dir", *dataDir, "log_format", *logFormat)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatalf("gpsd: %v", err)
+		fatal("serve", "addr", *addr, "error", err)
 	case sig := <-sigCh:
-		log.Printf("gpsd: %v, shutting down", sig)
+		log.Info("shutting down", "signal", sig.String())
 		// Stop scheduling compactions before the engine closes under them.
 		close(compactDone)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Printf("gpsd: graceful shutdown: %v; forcing close", err)
+			log.Error("graceful shutdown failed; forcing close", "error", err)
 			_ = httpSrv.Close()
 		}
 	}
+}
+
+// engineName names the storage engine for the startup log line, "memory"
+// when the daemon runs without -data-dir.
+func engineName(eng store.Engine) string {
+	if eng == nil {
+		return "memory"
+	}
+	return eng.EngineName()
 }

@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -253,6 +254,8 @@ func generalizeDense(g *graph.Graph, pta *automaton.NFA, dense *automaton.DenseN
 	}
 	targets := make([]automaton.State, 0, int(n))
 	outcomes := make([]bool, workers)
+	traced := opts.Trace != nil
+	var checkTime time.Duration
 	for j := automaton.State(1); j < n; j++ {
 		targets = dg.mergeTargets(j, opts.MergeOrder, weights, targets[:0])
 		merged := false
@@ -262,6 +265,10 @@ func generalizeDense(g *graph.Graph, pta *automaton.NFA, dense *automaton.DenseN
 				hi = len(targets)
 			}
 			chunk := targets[lo:hi]
+			var chunkStart time.Time
+			if traced {
+				chunkStart = time.Now()
+			}
 			if len(chunk) == 1 || workers == 1 {
 				for k, i := range chunk {
 					outcomes[k] = !dg.selectsNegative(int32(j), int32(i), dg.scratch[0])
@@ -277,6 +284,9 @@ func generalizeDense(g *graph.Graph, pta *automaton.NFA, dense *automaton.DenseN
 				}
 				wg.Wait()
 			}
+			if traced {
+				checkTime += time.Since(chunkStart)
+			}
 			for k := range chunk {
 				// Count exactly the attempts the sequential fold would have
 				// made: everything up to and including the accepted merge.
@@ -290,6 +300,9 @@ func generalizeDense(g *graph.Graph, pta *automaton.NFA, dense *automaton.DenseN
 				break
 			}
 		}
+	}
+	if traced {
+		opts.Trace("negative_checks", checkTime)
 	}
 	if result.Merges == 0 {
 		return pta

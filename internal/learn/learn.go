@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
@@ -79,6 +80,13 @@ type Options struct {
 	// pin the dense path against it. The learned query, the Witnesses map
 	// and the Merges/CandidateMerges counters are identical on both paths.
 	Reference bool
+	// Trace, when non-nil, receives span timings of one Learn call: phase
+	// "witnesses" (step 1: witness selection and PTA construction),
+	// "generalize" (step 2 total) and "negative_checks" (the aggregated
+	// candidate consistency-check time inside the merge fold). Clocks only
+	// run when Trace is set, so callers that leave it nil pay nothing on
+	// the merge hot path.
+	Trace func(phase string, d time.Duration)
 }
 
 // WorkerCount resolves the Parallelism option to a concrete pool size.
@@ -214,14 +222,27 @@ func Learn(g *graph.Graph, sample *Sample, opts Options) (*Result, error) {
 
 	// Step 1: one uncovered witness word per positive example, folded into
 	// a prefix-tree automaton.
+	var t0 time.Time
+	if opts.Trace != nil {
+		t0 = time.Now()
+	}
 	pta, witnesses, err := buildPTA(g, sample, opts)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Trace != nil {
+		opts.Trace("witnesses", time.Since(t0))
+	}
 	result := &Result{Witnesses: witnesses}
 	nfa := pta
 	if !opts.DisableGeneralization {
+		if opts.Trace != nil {
+			t0 = time.Now()
+		}
 		nfa = generalize(g, pta, sample.Negatives, opts, result)
+		if opts.Trace != nil {
+			opts.Trace("generalize", time.Since(t0))
+		}
 	}
 	result.Automaton = nfa
 	result.Query = nfa.ToRegex()
@@ -351,6 +372,8 @@ func generalizeReference(g *graph.Graph, pta *automaton.NFA, negatives []graph.N
 		candidate := pta.Quotient(trial)
 		return outcome{trial, candidate, !selectsAnyNegative(g, candidate, negatives)}
 	}
+	traced := opts.Trace != nil
+	var checkTime time.Duration
 	for j := automaton.State(1); j < n; j++ {
 		targets := mergeTargets(partition, j, opts.MergeOrder, weights)
 		merged := false
@@ -361,6 +384,10 @@ func generalizeReference(g *graph.Graph, pta *automaton.NFA, negatives []graph.N
 			}
 			chunk := targets[lo:hi]
 			outcomes := make([]outcome, len(chunk))
+			var chunkStart time.Time
+			if traced {
+				chunkStart = time.Now()
+			}
 			if len(chunk) == 1 || workers == 1 {
 				for k, i := range chunk {
 					outcomes[k] = tryMerge(j, i)
@@ -376,6 +403,9 @@ func generalizeReference(g *graph.Graph, pta *automaton.NFA, negatives []graph.N
 				}
 				wg.Wait()
 			}
+			if traced {
+				checkTime += time.Since(chunkStart)
+			}
 			for k := range outcomes {
 				// Count exactly the attempts the sequential fold would have
 				// made: everything up to and including the accepted merge.
@@ -390,6 +420,9 @@ func generalizeReference(g *graph.Graph, pta *automaton.NFA, negatives []graph.N
 				break
 			}
 		}
+	}
+	if traced {
+		opts.Trace("negative_checks", checkTime)
 	}
 	return current
 }

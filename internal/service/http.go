@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rpq"
 	"repro/internal/store"
 )
@@ -46,18 +47,62 @@ type Server struct {
 	shutdownOnce sync.Once
 	// metrics records per-endpoint request latency (see metrics.go).
 	metrics *httpMetrics
+	// reqSeq numbers requests arriving without an X-Request-ID header.
+	reqSeq atomic.Int64
 }
 
-// NewServer assembles a service instance.
+// NewServer assembles a service instance. withDefaults resolves
+// Options.Metrics to one registry before the sub-components are built, so
+// the registry, the manager and the store all register into the same
+// scrape.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		registry: NewRegistry(opts),
 		manager:  NewManager(opts),
 		start:    time.Now(),
 		shutdown: make(chan struct{}),
-		metrics:  newHTTPMetrics(),
+		metrics:  newHTTPMetrics(opts.Metrics),
+	}
+	s.registerObs()
+	return s
+}
+
+// registerObs wires the server-level observability families: uptime and
+// recovery gauges, the manager's backpressure gauges, per-graph cache
+// counters, and — on a durable service — the store engine's counters.
+func (s *Server) registerObs() {
+	reg := s.opts.Metrics
+	reg.GaugeFunc("gpsd_uptime_seconds", "Seconds since the server was assembled.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("gpsd_graphs_registered", "Graphs currently registered.",
+		func() float64 { return float64(len(s.registry.List())) })
+	s.manager.registerBackpressure(reg)
+	reg.SampleFunc("gpsd_cache_hits_total", "Engine cache hits, by graph.", obs.KindCounter,
+		func() []obs.Sample {
+			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Hits) })
+		})
+	reg.SampleFunc("gpsd_cache_misses_total", "Engine cache misses, by graph.", obs.KindCounter,
+		func() []obs.Sample {
+			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Misses) })
+		})
+	reg.SampleFunc("gpsd_cache_evictions_total", "Engine cache LRU evictions, by graph.", obs.KindCounter,
+		func() []obs.Sample {
+			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Evictions) })
+		})
+	reg.SampleFunc("gpsd_cache_entries", "Compiled queries resident in the engine cache, by graph.", obs.KindGauge,
+		func() []obs.Sample {
+			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Size) })
+		})
+	reg.GaugeFunc("gpsd_recovery_graphs", "Graph snapshots restored by the last recovery.",
+		func() float64 { return float64(s.recovery.Graphs) })
+	reg.GaugeFunc("gpsd_recovery_sessions_resumed", "In-flight sessions resumed by the last recovery.",
+		func() float64 { return float64(s.recovery.SessionsResumed) })
+	reg.GaugeFunc("gpsd_recovery_sessions_finished", "Finished sessions restored by the last recovery.",
+		func() float64 { return float64(s.recovery.SessionsFinished) })
+	if s.opts.Store != nil {
+		store.RegisterMetrics(reg, s.opts.Store)
 	}
 }
 
@@ -104,7 +149,15 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/sessions/{id}/hypothesis", s.handleHypothesis)
 	route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	route("POST /v1/admin/compact", s.handleAdminCompact)
+	route("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the observability registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.opts.Metrics.WritePrometheus(w)
 }
 
 // handleAdminCompact triggers one store compaction pass. On the binary

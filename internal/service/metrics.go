@@ -1,52 +1,33 @@
 package service
 
-// Backpressure observability for the ROADMAP's million-user north star: a
-// daemon that is saturating needs to say so before clients find out via
-// timeouts. Two signals are exposed on /v1/stats:
+// Service-level observability: per-endpoint request latency histograms
+// and the session manager's backpressure signals. Since the obs registry
+// became the single metrics substrate, this file owns only the service's
+// side of the contract — which instruments exist, and how /v1/stats
+// renders the same atomics as JSON so its shape never changed:
 //
-//   - the session manager's admission state (live loops vs capacity, and
-//     how many loops sit parked on the question/answer bridge waiting for
-//     a client — the service's queue depth);
-//   - a per-endpoint request-latency histogram with fixed bucket bounds,
-//     recorded lock-free on the request path via atomics.
+//   - every routed endpoint gets one gpsd_http_request_duration_seconds
+//     histogram child (microsecond-native, lock-free on the request
+//     path) and a gpsd_http_requests_total{endpoint,code} counter;
+//   - the manager's admission state (live loops vs capacity, loops
+//     parked on the question/answer bridge, finished retention) surfaces
+//     as gpsd_sessions_* gauges and the BackpressureStats JSON view.
 
 import (
 	"context"
 	"net/http"
-	"sort"
+	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyBucketBoundsUs are the inclusive upper bounds, in microseconds,
 // of the latency histogram buckets; a final implicit bucket catches
 // everything slower.
-var latencyBucketBoundsUs = [...]int64{100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000}
-
-// latencyHistogram is one endpoint's latency record. All fields are
-// updated with atomics; observe never takes a lock.
-type latencyHistogram struct {
-	buckets [len(latencyBucketBoundsUs) + 1]atomic.Int64
-	count   atomic.Int64
-	totalUs atomic.Int64
-	maxUs   atomic.Int64
-}
-
-func (h *latencyHistogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	i := sort.Search(len(latencyBucketBoundsUs), func(i int) bool { return us <= latencyBucketBoundsUs[i] })
-	h.buckets[i].Add(1)
-	h.count.Add(1)
-	h.totalUs.Add(us)
-	for {
-		cur := h.maxUs.Load()
-		if us <= cur || h.maxUs.CompareAndSwap(cur, us) {
-			return
-		}
-	}
-}
+var latencyBucketBoundsUs = []int64{100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000}
 
 // HistogramBucket is one bucket of a latency histogram view. LeUs is the
 // bucket's inclusive upper bound in microseconds; the overflow bucket
@@ -70,29 +51,27 @@ type LatencyView struct {
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 
-// snapshot renders a consistent-enough view for stats reporting: buckets
-// are read one atomic at a time, so a snapshot racing observes may be off
-// by the in-flight requests, which is fine for monitoring.
-func (h *latencyHistogram) snapshot() LatencyView {
-	v := LatencyView{Count: h.count.Load(), MaxUs: h.maxUs.Load()}
+// latencyView renders a histogram snapshot in the /v1/stats JSON shape.
+// The snapshot reads one atomic at a time, so a view racing observes may
+// be off by the in-flight requests, which is fine for monitoring.
+func latencyView(s obs.HistogramSnapshot) LatencyView {
+	v := LatencyView{Count: s.Count, MaxUs: s.Max}
 	if v.Count == 0 {
 		return v
 	}
-	v.MeanUs = float64(h.totalUs.Load()) / float64(v.Count)
-	counts := make([]int64, len(h.buckets))
+	v.MeanUs = float64(s.Sum) / float64(v.Count)
 	total := int64(0)
-	for i := range h.buckets {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
+	for _, c := range s.Buckets {
+		total += c
 	}
 	quantile := func(q float64) int64 {
 		target := int64(float64(total)*q + 0.5)
 		cum := int64(0)
-		for i, c := range counts {
+		for i, c := range s.Buckets {
 			cum += c
 			if cum >= target {
-				if i < len(latencyBucketBoundsUs) {
-					return latencyBucketBoundsUs[i]
+				if i < len(s.Bounds) {
+					return s.Bounds[i]
 				}
 				return v.MaxUs
 			}
@@ -100,38 +79,42 @@ func (h *latencyHistogram) snapshot() LatencyView {
 		return v.MaxUs
 	}
 	v.P50Us, v.P90Us, v.P99Us = quantile(0.50), quantile(0.90), quantile(0.99)
-	v.Buckets = make([]HistogramBucket, 0, len(counts))
-	for i, c := range counts {
+	v.Buckets = make([]HistogramBucket, 0, len(s.Buckets))
+	for i, c := range s.Buckets {
 		if c == 0 {
 			continue
 		}
 		le := int64(-1)
-		if i < len(latencyBucketBoundsUs) {
-			le = latencyBucketBoundsUs[i]
+		if i < len(s.Bounds) {
+			le = s.Bounds[i]
 		}
 		v.Buckets = append(v.Buckets, HistogramBucket{LeUs: le, Count: c})
 	}
 	return v
 }
 
-// httpMetrics owns one latency histogram per routed endpoint pattern.
-// Histograms are registered while the handler is assembled; the request
-// path only touches the captured histogram pointer.
+// httpMetrics tracks the per-endpoint latency histograms registered on
+// the obs registry. Histograms are registered while the handler is
+// assembled; the request path only touches the captured histogram
+// pointer.
 type httpMetrics struct {
+	reg       *obs.Registry
 	mu        sync.Mutex
-	endpoints map[string]*latencyHistogram
+	endpoints map[string]*obs.Histogram
 }
 
-func newHTTPMetrics() *httpMetrics {
-	return &httpMetrics{endpoints: make(map[string]*latencyHistogram)}
+func newHTTPMetrics(reg *obs.Registry) *httpMetrics {
+	return &httpMetrics{reg: reg, endpoints: make(map[string]*obs.Histogram)}
 }
 
-func (m *httpMetrics) register(pattern string) *latencyHistogram {
+func (m *httpMetrics) register(pattern string) *obs.Histogram {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	h, ok := m.endpoints[pattern]
 	if !ok {
-		h = &latencyHistogram{}
+		h = m.reg.Histogram("gpsd_http_request_duration_seconds",
+			"HTTP request latency by endpoint pattern (SSE streams record their lifetime).",
+			latencyBucketBoundsUs, 1e-6, obs.L("endpoint", pattern))
 		m.endpoints[pattern] = h
 	}
 	return h
@@ -143,28 +126,88 @@ func (m *httpMetrics) Snapshot() map[string]LatencyView {
 	defer m.mu.Unlock()
 	out := make(map[string]LatencyView, len(m.endpoints))
 	for pattern, h := range m.endpoints {
-		out[pattern] = h.snapshot()
+		out[pattern] = latencyView(h.Snapshot())
 	}
 	return out
 }
 
-// instrument wraps a handler so its requests are recorded against the
-// endpoint's histogram and, when Options.RequestTimeout is set, bounded
-// by a per-request context deadline. Streaming endpoints (SSE) record the
+// statusRecorder captures the response status for request counters and
+// logs. flushRecorder additionally forwards Flush, and is used whenever
+// the inner writer is an http.Flusher so the SSE handler's
+// `w.(http.Flusher)` assertion keeps succeeding through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+type flushRecorder struct {
+	*statusRecorder
+}
+
+func (r flushRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler so its requests carry a request id, are
+// recorded against the endpoint's histogram and request counter, logged
+// at debug level, and — when Options.RequestTimeout is set — bounded by a
+// per-request context deadline. Streaming endpoints (SSE) record the
 // lifetime of the stream, which is what their tail latency means, and are
 // exempt from the deadline — a tail is supposed to stay open.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.metrics.register(pattern)
+	endpoint := obs.L("endpoint", pattern)
 	streaming := strings.HasSuffix(pattern, "/events")
+	log := s.opts.Logger
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		rec := &statusRecorder{ResponseWriter: w}
+		var rw http.ResponseWriter = rec
+		if _, ok := w.(http.Flusher); ok {
+			rw = flushRecorder{rec}
+		}
 		if s.opts.RequestTimeout > 0 && !streaming {
 			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		h(w, r)
-		hist.observe(time.Since(start))
+		h(rw, r)
+		d := time.Since(start)
+		hist.Observe(d.Microseconds())
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.opts.Metrics.Counter("gpsd_http_requests_total",
+			"HTTP requests served, by endpoint pattern and status code.",
+			endpoint, obs.L("code", strconv.Itoa(code))).Inc()
+		log.Debug("http request",
+			"request_id", reqID,
+			"endpoint", pattern,
+			"path", r.URL.Path,
+			"code", code,
+			"duration_us", d.Microseconds())
 	}
 }
 
@@ -204,4 +247,20 @@ func (m *Manager) Backpressure() BackpressureStats {
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// registerBackpressure exposes the manager's admission state as gauges on
+// the registry. One Backpressure snapshot feeds all four families per
+// scrape would be nicer, but each gauge sampling its own snapshot keeps
+// the registration trivially idempotent and the cost is a few mutex
+// rounds per scrape.
+func (m *Manager) registerBackpressure(reg *obs.Registry) {
+	reg.GaugeFunc("gpsd_sessions_live", "Learning-loop goroutines that have not exited.",
+		func() float64 { return float64(m.Backpressure().LiveSessions) })
+	reg.GaugeFunc("gpsd_sessions_max", "Admission limit for live sessions.",
+		func() float64 { return float64(m.opts.MaxSessions) })
+	reg.GaugeFunc("gpsd_sessions_queue_depth", "Sessions parked on the question/answer bridge awaiting a client.",
+		func() float64 { return float64(m.Backpressure().QueueDepth) })
+	reg.GaugeFunc("gpsd_sessions_finished_retained", "Finished sessions retained for inspection.",
+		func() float64 { return float64(m.Backpressure().FinishedRetained) })
 }

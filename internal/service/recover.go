@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/regex"
 	"repro/internal/store"
@@ -62,6 +63,11 @@ func (s *Server) Recover() (RecoveryReport, error) {
 		}
 	}
 	s.recovery = rep
+	s.opts.Logger.Info("recovery complete",
+		"graphs", rep.Graphs,
+		"sessions_resumed", rep.SessionsResumed,
+		"sessions_finished", rep.SessionsFinished,
+		"sessions_skipped", len(rep.SessionsSkipped))
 	return rep, nil
 }
 
@@ -141,6 +147,7 @@ func (m *Manager) Restore(reg *Registry, rs store.RecoveredSession) (resumed boo
 			cancel:  func() {},
 			done:    done,
 			journal: rs.Journal,
+			tr:      m.tr,
 			labels:  final.Labels,
 			learned: learned,
 		}
@@ -176,10 +183,11 @@ func (m *Manager) Restore(reg *Registry, rs store.RecoveredSession) (resumed boo
 		cfg:     cr.Config,
 		done:    make(chan struct{}),
 		journal: rs.Journal,
+		tr:      m.tr,
 		status:  StatusRunning,
 	}
 	if len(questions) > 0 || len(answers) > 0 || hypCount > 0 {
-		s.replay = &replayState{answers: answers, questions: questions, hypSkip: hypCount}
+		s.replay = &replayState{answers: answers, questions: questions, hypSkip: hypCount, started: time.Now()}
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
@@ -189,6 +197,9 @@ func (m *Manager) Restore(reg *Registry, rs store.RecoveredSession) (resumed boo
 	m.live++
 	m.sessions[rs.ID] = s
 	m.mu.Unlock()
+	m.log.Info("session resumed",
+		"session_id", rs.ID, "graph", cr.Graph, "mode", cr.Config.Mode,
+		"journaled_questions", len(questions), "journaled_answers", len(answers))
 	m.launch(s, strat, goal, ctx)
 	return true, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/rpq"
 )
 
@@ -166,6 +167,21 @@ func (r *Registry) Remove(name string) bool {
 		_ = r.opts.Store.DeleteGraph(name)
 	}
 	return ok
+}
+
+// cacheSamples renders one labelled sample per registered graph from its
+// cache stats — the scrape-time callback behind the gpsd_cache_*
+// families.
+func (r *Registry) cacheSamples(get func(rpq.CacheStats) float64) []obs.Sample {
+	infos := r.List()
+	out := make([]obs.Sample, 0, len(infos))
+	for _, gi := range infos {
+		out = append(out, obs.Sample{
+			Labels: []obs.Label{obs.L("graph", gi.Name)},
+			Value:  get(gi.Cache),
+		})
+	}
+	return out
 }
 
 // List returns the registered graphs sorted by name.

@@ -27,8 +27,11 @@
 package service
 
 import (
+	"io"
+	"log/slog"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rpq"
 	"repro/internal/store"
 )
@@ -57,6 +60,19 @@ type Options struct {
 	// answers 503 once it expires. 0 disables the per-request deadline.
 	// SSE event streams are exempt — their lifetime is the tail's.
 	RequestTimeout time.Duration
+	// Metrics is the observability registry every telemetry surface of the
+	// service registers into: per-endpoint latency histograms, request
+	// counters, backpressure gauges, per-graph cache counters, store
+	// counters and session-trace histograms. The server exposes it at
+	// GET /metrics; /v1/stats renders JSON views over the same
+	// instruments. Nil creates a private registry, so embedders and tests
+	// need no setup; pass one explicitly to share a registry across
+	// components or add families of your own.
+	Metrics *obs.Registry
+	// Logger receives the service's structured logs: session lifecycle at
+	// info, per-request and per-question events at debug. Nil discards
+	// everything — the daemon (cmd/gpsd) always passes its own.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +84,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 256
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return o
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/interactive"
@@ -161,6 +163,10 @@ type HostedSession struct {
 	done chan struct{}
 	// journal records every state transition; see the rec* constants.
 	journal *store.Journal
+	// tr records lifecycle spans (question waits, learner phases, replay)
+	// into the manager's tracer; nil only on sessions built outside the
+	// manager.
+	tr *tracer
 
 	mu        sync.Mutex
 	status    SessionStatus
@@ -189,6 +195,9 @@ type replayState struct {
 	answers   []Answer
 	questions []Question
 	hypSkip   int
+	// started clocks the replay span from Restore to the point the loop
+	// catches up with the journal.
+	started time.Time
 }
 
 // ID returns the session identifier.
@@ -255,6 +264,9 @@ func (s *HostedSession) fail(err error) {
 // so the journal stays free of duplicates across any number of crashes.
 func (s *HostedSession) ask(ctx context.Context, q *Question, st SessionStatus) (Answer, bool) {
 	ch := make(chan Answer, 1)
+	var replayDone bool
+	var replayD time.Duration
+	var replayQuestions int
 	s.mu.Lock()
 	s.seq++
 	q.Seq = s.seq
@@ -291,6 +303,9 @@ func (s *HostedSession) ask(ctx context.Context, q *Question, st SessionStatus) 
 			// Replay complete: every journaled answer is consumed and the
 			// loop has caught up with the journaled questions.
 			s.replay = nil
+			replayDone = true
+			replayD = time.Since(r.started)
+			replayQuestions = s.seq - 1
 		}
 	}
 	// Publish the pending question before the journal append wakes the SSE
@@ -305,6 +320,10 @@ func (s *HostedSession) ask(ctx context.Context, q *Question, st SessionStatus) 
 	s.pendingCh = ch
 	s.status = st
 	s.mu.Unlock()
+	if replayDone && s.tr != nil {
+		s.tr.replayDone(s.id, replayD, replayQuestions)
+	}
+	published := time.Now()
 	if journalQ {
 		if err := s.journal.Append(recQuestion, q); err != nil {
 			s.mu.Lock()
@@ -320,6 +339,9 @@ func (s *HostedSession) ask(ctx context.Context, q *Question, st SessionStatus) 
 		s.mu.Lock()
 		s.status = StatusRunning
 		s.mu.Unlock()
+		if s.tr != nil {
+			s.tr.questionAnswered(s.id, q.Kind, time.Since(published))
+		}
 		return a, true
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -486,6 +508,9 @@ func (s *HostedSession) noteHypothesis(learned string) {
 	}
 	s.mu.Unlock()
 	if !skip {
+		if s.tr != nil {
+			s.tr.log.Debug("hypothesis", "session_id", s.id, "learned", learned)
+		}
 		if err := s.journal.Append(recHypothesis, hypothesisRecord{Learned: learned}); err != nil {
 			s.fail(err)
 		}
@@ -499,6 +524,10 @@ func (s *HostedSession) noteHypothesis(learned string) {
 // caches) forever.
 type Manager struct {
 	opts Options
+	// log and tr are the manager's structured logger and session tracer
+	// (trace.go); both resolve from the options' shared registry/logger.
+	log *slog.Logger
+	tr  *tracer
 
 	mu       sync.Mutex
 	sessions map[string]*HostedSession
@@ -513,7 +542,13 @@ type Manager struct {
 
 // NewManager returns an empty session manager.
 func NewManager(opts Options) *Manager {
-	return &Manager{opts: opts.withDefaults(), sessions: make(map[string]*HostedSession)}
+	opts = opts.withDefaults()
+	return &Manager{
+		opts:     opts,
+		log:      opts.Logger,
+		tr:       newTracer(opts.Metrics, opts.Logger),
+		sessions: make(map[string]*HostedSession),
+	}
 }
 
 // noteFinished is called exactly once by each session's learning goroutine
@@ -636,6 +671,7 @@ func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, err
 		cfg:     cfg,
 		done:    make(chan struct{}),
 		journal: jr,
+		tr:      m.tr,
 		status:  StatusRunning,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -643,6 +679,8 @@ func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, err
 	m.mu.Lock()
 	m.sessions[id] = s
 	m.mu.Unlock()
+	m.log.Info("session created",
+		"session_id", id, "graph", h.Name(), "mode", cfg.Mode, "strategy", cfg.Strategy)
 	m.launch(s, strat, goal, ctx)
 	return s, nil
 }
@@ -665,6 +703,12 @@ func (m *Manager) launch(s *HostedSession, strat interactive.Strategy, goal *reg
 		MaxInteractions: s.cfg.MaxInteractions,
 		Learn:           learn.Options{MaxPathLength: s.cfg.MaxPathLength},
 		Cache:           h.Cache(),
+	}
+	if m.tr != nil {
+		sid := s.id
+		opts.Learn.Trace = func(phase string, d time.Duration) {
+			m.tr.learnPhaseDone(sid, phase, d)
+		}
 	}
 	sess := interactive.NewSession(h.Graph(), &observedUser{inner: inner, s: s}, opts)
 	go func() {
@@ -693,6 +737,13 @@ func (m *Manager) launch(s *HostedSession, strat interactive.Strategy, goal *reg
 			final = doneRecord{Halt: s.halt, Learned: s.learned, Labels: s.labels}
 		}
 		s.mu.Unlock()
+		if terminal == recFailed {
+			m.log.Warn("session failed",
+				"session_id", s.id, "graph", h.Name(), "error", final.Error, "labels", final.Labels)
+		} else {
+			m.log.Info("session finished",
+				"session_id", s.id, "graph", h.Name(), "halt", final.Halt, "labels", final.Labels, "learned", final.Learned)
+		}
 		// Best effort: the terminal record of a session torn down by
 		// Remove may land on an already-removed journal. AppendTerminal
 		// lets the engine fsync immediately (no group-commit window) and

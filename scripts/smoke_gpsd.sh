@@ -60,6 +60,19 @@ kill_server() {
   GPSD_PID=""
 }
 
+# metric_value FILE PATTERN — numeric value of the first sample line whose
+# name{labels} part matches PATTERN in a /metrics scrape.
+metric_value() {
+  awk -v pat="$2" '$0 !~ /^#/ && $0 ~ pat { print $NF; exit }' "$1"
+}
+
+# assert_ge A B MSG — fail unless A >= B (awk handles the arithmetic so
+# exponent-formatted values compare correctly).
+assert_ge() {
+  awk -v a="$1" -v b="$2" 'BEGIN { exit !(a+0 >= b+0) }' \
+    || { echo "metrics: $3 (got $1, want >= $2)" >&2; exit 1; }
+}
+
 go build -o "$BIN" ./cmd/gpsd
 
 run_engine() {
@@ -121,6 +134,23 @@ run_engine() {
   grep -q '"POST /v1/graphs/{name}/evaluate"' /tmp/gpsd_stats.json
   grep -q '"p99_us"' /tmp/gpsd_stats.json
 
+  # --- /metrics exposition -------------------------------------------------
+  # One scrape must cover every telemetry surface: store counters, cache
+  # stats, backpressure gauges, request-latency histograms with cumulative
+  # buckets ending at +Inf, and the session-trace histograms populated by
+  # the simulated session above.
+  curl -fsS "$BASE/metrics" | tee /tmp/gpsd_metrics.txt >/dev/null
+  grep -q '^# TYPE gpsd_store_journal_appends_total counter' /tmp/gpsd_metrics.txt
+  grep -q "^gpsd_store_journal_appends_total{engine=\"$ENGINE\"}" /tmp/gpsd_metrics.txt
+  grep -q '^# TYPE gpsd_http_request_duration_seconds histogram' /tmp/gpsd_metrics.txt
+  grep -q 'gpsd_http_request_duration_seconds_bucket{.*le="+Inf"}' /tmp/gpsd_metrics.txt
+  grep -q '^gpsd_sessions_live ' /tmp/gpsd_metrics.txt
+  grep -q '^gpsd_cache_hits_total{graph="demo"}' /tmp/gpsd_metrics.txt
+  grep -q '^# TYPE gpsd_session_question_wait_seconds histogram' /tmp/gpsd_metrics.txt
+  grep -q '^gpsd_session_learn_phase_seconds_count{phase="generalize"}' /tmp/gpsd_metrics.txt
+  APPENDS_1=$(metric_value /tmp/gpsd_metrics.txt "^gpsd_store_journal_appends_total")
+  assert_ge "$APPENDS_1" 1 "journal appends must be counted after a session"
+
   # --- Kill-and-restart recovery -------------------------------------------
   # Park a manual session on its satisfied question (one positive label
   # in), capture its state, SIGTERM the server mid-session and restart
@@ -141,6 +171,12 @@ run_engine() {
   curl -fsS "$BASE/v1/sessions/$MID" | tee /tmp/gpsd_manual_before.json
   grep -q '"kind": "satisfied"' /tmp/gpsd_manual_before.json
   curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_before.json
+
+  # Counters are monotonic within a server process: the manual-session
+  # traffic above can only have grown the journal-append counter.
+  curl -fsS "$BASE/metrics" >/tmp/gpsd_metrics2.txt
+  APPENDS_2=$(metric_value /tmp/gpsd_metrics2.txt "^gpsd_store_journal_appends_total")
+  assert_ge "$APPENDS_2" "$APPENDS_1" "journal-append counter must never regress within a run"
 
   stop_server
   start_server # no -preload: everything must come back from the store
@@ -173,6 +209,26 @@ run_engine() {
   # Recovery is visible in the stats.
   curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats_after.json
   grep -q '"sessions_resumed": 1' /tmp/gpsd_stats_after.json
+
+  # Recovery is visible on /metrics too: the restarted process starts its
+  # counters at zero, but the replay itself must be accounted — recovered
+  # graphs/sessions counted, the resumed session's replay span recorded,
+  # and not a single corrupt journal frame after a clean SIGTERM.
+  curl -fsS "$BASE/metrics" >/tmp/gpsd_metrics_after.txt
+  assert_ge "$(metric_value /tmp/gpsd_metrics_after.txt "^gpsd_store_recovered_graphs_total")" 2 \
+    "recovered-graph counter must cover both graphs after restart"
+  assert_ge "$(metric_value /tmp/gpsd_metrics_after.txt "^gpsd_store_recovered_sessions_total")" 2 \
+    "recovered-session counter must cover both sessions after restart"
+  assert_ge "$(metric_value /tmp/gpsd_metrics_after.txt "^gpsd_recovery_sessions_resumed")" 1 \
+    "resumed-session gauge must report the replayed manual session"
+  assert_ge "$(metric_value /tmp/gpsd_metrics_after.txt "^gpsd_session_replay_seconds_count")" 1 \
+    "the resumed session must record a replay span"
+  assert_ge 0 "$(metric_value /tmp/gpsd_metrics_after.txt "^gpsd_store_corrupt_frames_total")" \
+    "a clean shutdown must leave zero corrupt journal frames"
+  # The journal-append counter restarts from zero in the new process; the
+  # on-disk history it describes is still intact (sessions recovered above).
+  APPENDS_3=$(metric_value /tmp/gpsd_metrics_after.txt "^gpsd_store_journal_appends_total")
+  test -n "$APPENDS_3"
 
   # --- SIGKILL recovery ----------------------------------------------------
   # A hard kill gets no cleanup: the LOCK file must be leaked, the next
