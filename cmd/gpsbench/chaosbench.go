@@ -34,12 +34,11 @@ package main
 // makes the oracle comparison meaningful.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"math/rand"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"os/exec"
@@ -54,6 +53,7 @@ import (
 
 	"repro/internal/service"
 	"repro/internal/store"
+	"repro/pkg/client"
 )
 
 // chaosPreloads are the graphs served by both the tortured daemon (via
@@ -183,60 +183,12 @@ func (r *chaosReport) list() []string {
 	return append([]string(nil), r.violations...)
 }
 
-// chaosClient is a minimal JSON client; every driver tolerates transport
-// errors (the server is being murdered on purpose) and retries.
-type chaosClient struct {
-	base string
-	hc   *http.Client
-}
-
-func newChaosClient(base string) *chaosClient {
-	return &chaosClient{base: base, hc: &http.Client{Timeout: 5 * time.Second}}
-}
-
-func (c *chaosClient) getJSON(path string, out any) (int, error) {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if out != nil && resp.StatusCode < 300 {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
-		}
-	}
-	return resp.StatusCode, nil
-}
-
-func (c *chaosClient) getText(path string) (int, string, error) {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return 0, "", err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, "", err
-	}
-	return resp.StatusCode, string(data), nil
-}
-
-func (c *chaosClient) postJSON(path string, body, out any) (int, error) {
-	data, err := json.Marshal(body)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.hc.Post(c.base+path, "application/json", strings.NewReader(string(data)))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if out != nil && resp.StatusCode < 300 {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
-		}
-	}
-	return resp.StatusCode, nil
+// newChaosClient builds the typed API client the drivers share. Every
+// driver tolerates transport errors (the server is being murdered on
+// purpose) and retries; typed *client.APIError codes separate protocol
+// answers from weather.
+func newChaosClient(base string) *client.Client {
+	return client.New(base, client.WithTimeout(5*time.Second))
 }
 
 // chaosHash mixes the run seed, the spec index and the question identity
@@ -278,7 +230,7 @@ func chaosAnswer(seed int64, specIdx int, q *service.Question) service.Answer {
 // chaosRun owns the daemon subprocess, the drivers and the counters.
 type chaosRun struct {
 	opts    chaosOptions
-	client  *chaosClient
+	client  *client.Client
 	rep     *chaosReport
 	specs   []*chaosSession
 	dataDir string
@@ -598,7 +550,7 @@ func (c *chaosRun) start(fault string) error {
 
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
-		if code, err := c.client.getJSON("/healthz", nil); err == nil && code == http.StatusOK {
+		if err := c.client.Health(context.Background()); err == nil {
 			return nil
 		}
 		if c.exited() {
@@ -640,8 +592,8 @@ func (c *chaosRun) exited() bool { return c.waitExit(0) }
 // the Prometheus exposition at /metrics, not the JSON stats, so the chaos
 // run also proves the scrape surface stays accurate across every crash.
 func (c *chaosRun) readStats() {
-	code, body, err := c.client.getText("/metrics")
-	if err != nil || code != http.StatusOK {
+	body, err := c.client.Metrics(context.Background())
+	if err != nil {
 		return
 	}
 	stats, ok := parseStoreMetrics(body)
@@ -702,17 +654,16 @@ func (c *chaosRun) finishEpoch() {
 
 func (c *chaosRun) createSessions() error {
 	for _, cs := range c.specs {
-		var v service.SessionView
 		var lastErr error
 		for attempt := 0; attempt < 20; attempt++ {
-			code, err := c.client.postJSON("/v1/sessions", cs.spec.cfg, &v)
-			if err == nil && code == http.StatusCreated {
+			v, err := c.client.CreateSession(context.Background(), cs.spec.cfg)
+			if err == nil {
 				cs.sid = v.ID
 				cs.observe(v, c.rep)
 				lastErr = nil
 				break
 			}
-			lastErr = fmt.Errorf("create session (spec %d): code=%d err=%v", cs.spec.idx, code, err)
+			lastErr = fmt.Errorf("create session (spec %d): %w", cs.spec.idx, err)
 			time.Sleep(50 * time.Millisecond)
 		}
 		if lastErr != nil {
@@ -731,31 +682,29 @@ func (c *chaosRun) sweep() {
 			continue
 		}
 		var v service.SessionView
-		var code int
 		var err error
 		for attempt := 0; attempt < 5; attempt++ {
-			code, err = c.client.getJSON("/v1/sessions/"+cs.sid, &v)
-			if err == nil {
-				break
+			v, err = c.client.Session(context.Background(), cs.sid)
+			if err == nil || client.CodeOf(err) != "" {
+				break // a typed code is a protocol answer, not transport weather
 			}
 			time.Sleep(50 * time.Millisecond)
+		}
+		if client.IsCode(err, service.CodeSessionNotFound) {
+			c.rep.violatef("session %s (spec %d) vanished after recovery", cs.sid, cs.spec.idx)
+			continue
 		}
 		if err != nil {
 			continue // the controller may already be killing again
 		}
-		if code == http.StatusNotFound {
-			c.rep.violatef("session %s (spec %d) vanished after recovery", cs.sid, cs.spec.idx)
-			continue
-		}
-		if code == http.StatusOK {
-			cs.observe(v, c.rep)
-		}
+		cs.observe(v, c.rep)
 	}
 }
 
 // drive answers one session's questions until it finishes or the chaos
-// run stops. Transport errors and 409s (an answer racing a restart's
-// replay) are expected and retried; anything else is a violation.
+// run stops. Transport errors, conflicts (an answer racing a restart's
+// replay) and deadline hits are expected and retried; any other typed API
+// error is a violation.
 func (c *chaosRun) drive(cs *chaosSession, stop <-chan struct{}) {
 	for {
 		select {
@@ -763,9 +712,8 @@ func (c *chaosRun) drive(cs *chaosSession, stop <-chan struct{}) {
 			return
 		default:
 		}
-		var v service.SessionView
-		code, err := c.client.getJSON("/v1/sessions/"+cs.sid, &v)
-		if err != nil || code != http.StatusOK {
+		v, err := c.client.Session(context.Background(), cs.sid)
+		if err != nil {
 			time.Sleep(20 * time.Millisecond)
 			continue
 		}
@@ -775,18 +723,19 @@ func (c *chaosRun) drive(cs *chaosSession, stop <-chan struct{}) {
 		}
 		if v.Pending != nil {
 			ans := chaosAnswer(c.opts.seed, cs.spec.idx, v.Pending)
-			code, err := c.client.postJSON("/v1/sessions/"+cs.sid+"/label", ans, nil)
-			switch {
-			case err != nil:
-				// Indeterminate: the crash may or may not have persisted the
-				// answer. The next poll sees whichever question is pending
-				// and the policy regenerates the same answer either way.
-			case code == http.StatusOK:
+			_, err := c.client.Answer(context.Background(), cs.sid, ans)
+			switch code := client.CodeOf(err); {
+			case err == nil:
 				c.answers.Add(1)
-			case code == http.StatusConflict || code == http.StatusServiceUnavailable:
+			case code == service.CodeConflict || code == service.CodeDeadlineExceeded:
 				// Raced a restart replay or a request deadline; re-poll.
+			case code == "":
+				// Transport error — indeterminate: the crash may or may not
+				// have persisted the answer. The next poll sees whichever
+				// question is pending and the policy regenerates the same
+				// answer either way.
 			default:
-				c.rep.violatef("session %s: answer for question %d returned %d", cs.sid, ans.Seq, code)
+				c.rep.violatef("session %s: answer for question %d failed: %v", cs.sid, ans.Seq, err)
 			}
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -848,9 +797,9 @@ func (c *chaosRun) runOracle() ([]service.SessionView, error) {
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.specs))
 	for i, cs := range c.specs {
-		var v service.SessionView
-		if code, err := oc.postJSON("/v1/sessions", cs.spec.cfg, &v); err != nil || code != http.StatusCreated {
-			return nil, fmt.Errorf("oracle create spec %d: code=%d err=%v", i, code, err)
+		v, err := oc.CreateSession(context.Background(), cs.spec.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("oracle create spec %d: %w", i, err)
 		}
 		wg.Add(1)
 		go func(i int, sid string, specIdx int) {
@@ -869,21 +818,20 @@ func (c *chaosRun) runOracle() ([]service.SessionView, error) {
 
 // driveOracle answers one oracle session to completion with the shared
 // deterministic policy.
-func driveOracle(oc *chaosClient, sid string, specIdx int, seed int64) (service.SessionView, error) {
+func driveOracle(oc *client.Client, sid string, specIdx int, seed int64) (service.SessionView, error) {
 	deadline := time.Now().Add(3 * time.Minute)
 	for time.Now().Before(deadline) {
-		var v service.SessionView
-		code, err := oc.getJSON("/v1/sessions/"+sid, &v)
-		if err != nil || code != http.StatusOK {
-			return v, fmt.Errorf("oracle session %s: code=%d err=%v", sid, code, err)
+		v, err := oc.Session(context.Background(), sid)
+		if err != nil {
+			return v, fmt.Errorf("oracle session %s: %w", sid, err)
 		}
 		if v.Status == service.StatusDone || v.Status == service.StatusFailed {
 			return v, nil
 		}
 		if v.Pending != nil {
 			ans := chaosAnswer(seed, specIdx, v.Pending)
-			if code, err := oc.postJSON("/v1/sessions/"+sid+"/label", ans, nil); err != nil || (code != http.StatusOK && code != http.StatusConflict) {
-				return v, fmt.Errorf("oracle session %s: answer returned code=%d err=%v", sid, code, err)
+			if _, err := oc.Answer(context.Background(), sid, ans); err != nil && !client.IsCode(err, service.CodeConflict) {
+				return v, fmt.Errorf("oracle session %s: answer failed: %w", sid, err)
 			}
 			continue
 		}

@@ -15,6 +15,9 @@
 //	gpsbench -benchcmp BENCH_rpq.json   # regression gate vs BENCH_baseline.json
 //	gpsbench -learnbench  # learner benchmarks -> BENCH_learn.json
 //	gpsbench -learngate BENCH_learn.json  # dense-vs-reference speedup gate
+//	gpsbench -loadbench -load-gpsd ./gpsd  # multi-tenant fairness load -> BENCH_load.json
+//	gpsbench -loadgate BENCH_load.json     # fairness gate over a load summary
+//	gpsbench -smokedrive eval -smoke-base http://127.0.0.1:8080  # typed-client smoke checks
 package main
 
 import (
@@ -52,13 +55,28 @@ func main() {
 		chaosAddr  = flag.String("chaos-addr", "127.0.0.1:18090", "listen address for the tortured gpsd")
 		chaosOut   = flag.String("chaosbench-out", "", "optional JSON summary output path for -chaosbench")
 		chaosV     = flag.Bool("chaos-v", false, "log per-kill chaos progress")
+		loadBench  = flag.Bool("loadbench", false, "run the multi-tenant load harness: several tenants against a keyring-armed gpsd subprocess, one offering ~10x, asserting the fair-share invariants")
+		loadGpsd   = flag.String("load-gpsd", "", "path to the gpsd binary to load (required with -loadbench)")
+		loadAddr   = flag.String("load-addr", "127.0.0.1:18091", "listen address for the loaded gpsd")
+		loadDur    = flag.Duration("load-duration", 8*time.Second, "duration of each -loadbench phase")
+		loadOut    = flag.String("loadbench-out", "BENCH_load.json", "output path of the -loadbench JSON summary")
+		loadV      = flag.Bool("load-v", false, "log per-tenant load results")
+		smokeMode  = flag.String("smokedrive", "", "run one typed-client smoke check (eval, simulate, checkdone, park, snapshot, auth) against a running gpsd — the Go half of scripts/smoke_gpsd.sh")
+		smokeBase  = flag.String("smoke-base", "http://127.0.0.1:8080", "base URL of the gpsd under smoke test")
+		smokeSess  = flag.String("smoke-session", "", "session id for the checkdone/snapshot smoke modes")
+		smokeOut   = flag.String("smoke-out", "", "output path for the snapshot smoke mode")
+		smokeKey   = flag.String("smoke-key", "", "API key for the auth smoke mode")
+		smokeNoKey = flag.Bool("smoke-expect-unauthorized", false, "auth smoke mode: the key must be rejected (revoked-key checks)")
+		loadGate   = flag.String("loadgate", "", "check this -loadbench summary and fail if the polite admission-error rate or p99 ratio breaches the fairness gate")
+		loadRate   = flag.Float64("loadgate-max-error-rate", 0.01, "maximum polite-tenant admission-error rate for -loadgate")
+		loadRatio  = flag.Float64("loadgate-max-p99-ratio", 2, "maximum contended/baseline p99 ratio for -loadgate")
 		benchCmp   = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on regression")
 		benchBase  = flag.String("benchcmp-base", "BENCH_baseline.json", "baseline summary for -benchcmp")
 		benchTol   = flag.Float64("benchcmp-threshold", 0.25, "allowed regression for -benchcmp (0.25 = 25%)")
 	)
 	flag.Parse()
 
-	if *benchCmp != "" || *storeGate != "" || *learnGate != "" {
+	if *benchCmp != "" || *storeGate != "" || *learnGate != "" || *loadGate != "" {
 		if *benchCmp != "" {
 			if err := runBenchCompare(*benchBase, *benchCmp, *benchTol); err != nil {
 				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
@@ -76,6 +94,44 @@ func main() {
 				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		if *loadGate != "" {
+			if err := runLoadGate(*loadGate, *loadRate, *loadRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *smokeMode != "" {
+		err := runSmokeDrive(smokeOptions{
+			base:               *smokeBase,
+			mode:               *smokeMode,
+			session:            *smokeSess,
+			out:                *smokeOut,
+			key:                *smokeKey,
+			expectUnauthorized: *smokeNoKey,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: smokedrive %s: %v\n", *smokeMode, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *loadBench {
+		err := runLoadBench(loadOptions{
+			gpsdPath: *loadGpsd,
+			addr:     *loadAddr,
+			duration: *loadDur,
+			seed:     *seed,
+			out:      *loadOut,
+			verbose:  *loadV,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: loadbench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}

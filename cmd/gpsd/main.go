@@ -17,6 +17,9 @@
 //	gpsd -data-dir d -compact-interval 1m # compact live, periodically, while
 //	                                      # serving (appends keep flowing)
 //	gpsd -request-timeout 10s             # per-request deadline (SSE exempt)
+//	gpsd -api-keys keys.json              # API-key auth, per-tenant quotas and
+//	                                      # fair-share admission; SIGHUP reloads
+//	gpsd -admit-wait 5s                   # max fair-share queueing before 429
 //	gpsd -log-format json -log-level debug # structured logs for ingestion
 //	gpsd -pprof-addr localhost:6060       # net/http/pprof on its own listener
 //
@@ -101,6 +104,8 @@ func main() {
 		compactIvl  = flag.Duration("compact-interval", 0, "binary engine: run a live compaction this often while serving (0 = never); appends keep flowing during a pass")
 		segSize     = flag.Int64("segment-size", 0, "binary engine: segment roll threshold in bytes (0 = default 4MiB)")
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline for non-streaming endpoints (0 = unbounded)")
+		apiKeys     = flag.String("api-keys", "", "JSON keyring file mapping API keys to tenants and quotas; SIGHUP reloads it (empty = open mode, no auth)")
+		admitWait   = flag.Duration("admit-wait", 0, "max time a session create may queue for fair-share admission before 429 (0 = default 2s)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (own listener, e.g. localhost:6060; empty = disabled)")
@@ -159,11 +164,21 @@ func main() {
 	} else if *compact {
 		fatal("-compact requires -data-dir")
 	}
+	var keyring *service.Keyring
+	if *apiKeys != "" {
+		keyring, err = service.OpenKeyring(*apiKeys)
+		if err != nil {
+			fatal("open keyring", "api_keys", *apiKeys, "error", err)
+		}
+		log.Info("api keys loaded", "api_keys", *apiKeys)
+	}
 	metrics := obs.NewRegistry()
 	srv := service.NewServer(service.Options{
 		EvalWorkers:    *shards,
 		CacheCapacity:  *cacheCap,
 		MaxSessions:    *maxSess,
+		Keyring:        keyring,
+		AdmitWait:      *admitWait,
 		Store:          eng,
 		RequestTimeout: *reqTimeout,
 		Metrics:        metrics,
@@ -259,19 +274,36 @@ func main() {
 		"engine", engineName(eng), "data_dir", *dataDir, "log_format", *logFormat)
 
 	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		fatal("serve", "addr", *addr, "error", err)
-	case sig := <-sigCh:
-		log.Info("shutting down", "signal", sig.String())
-		// Stop scheduling compactions before the engine closes under them.
-		close(compactDone)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			log.Error("graceful shutdown failed; forcing close", "error", err)
-			_ = httpSrv.Close()
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errCh:
+			fatal("serve", "addr", *addr, "error", err)
+		case sig := <-sigCh:
+			// SIGHUP hot-reloads the keyring and keeps serving; anything else
+			// begins the graceful shutdown.
+			if sig == syscall.SIGHUP {
+				if keyring == nil {
+					log.Warn("SIGHUP ignored: no -api-keys file to reload")
+					continue
+				}
+				if err := keyring.Reload(); err != nil {
+					log.Error("keyring reload failed; keeping previous keys", "api_keys", *apiKeys, "error", err)
+				} else {
+					log.Info("keyring reloaded", "api_keys", *apiKeys)
+				}
+				continue
+			}
+			log.Info("shutting down", "signal", sig.String())
+			// Stop scheduling compactions before the engine closes under them.
+			close(compactDone)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Error("graceful shutdown failed; forcing close", "error", err)
+				_ = httpSrv.Close()
+			}
+			return
 		}
 	}
 }

@@ -66,16 +66,14 @@ func TestRequestTimeout(t *testing.T) {
 	ts := newHTTPServer(t, srv)
 	loadFigure1(t, ts, "demo")
 
-	var errResp struct {
-		Error string `json:"error"`
-	}
+	var errResp errorEnvelope
 	code := do(t, http.MethodPost, ts.URL+"/v1/graphs/demo/evaluate",
 		evaluateRequest{Query: "(tram+bus)*.cinema", Witnesses: true}, &errResp)
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("evaluate under expired deadline returned %d, want 503", code)
 	}
-	if errResp.Error == "" {
-		t.Fatal("503 carried no error body")
+	if errResp.Error.Code != CodeDeadlineExceeded {
+		t.Fatalf("503 error code = %q, want %q", errResp.Error.Code, CodeDeadlineExceeded)
 	}
 
 	var v SessionView

@@ -1,0 +1,224 @@
+package service
+
+// API-key authentication and tenant resolution. A Keyring maps request
+// credentials (Authorization: Bearer <key> or X-API-Key: <key>) to a
+// tenant and its quota limits. The ring is swapped atomically, so cmd/gpsd
+// can hot-reload the -api-keys file on SIGHUP without a restart: requests
+// in flight finish against the old ring, the next request sees the new
+// one, and a revoked key starts answering 401 immediately.
+//
+// Without a keyring the service runs in open mode: every request belongs
+// to the default tenant, which has no per-tenant caps — exactly the
+// pre-tenancy behavior, still bounded by the global Options.MaxSessions.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultTenant is the tenant of every request in open mode (no keyring).
+// It carries no per-tenant limits and does not queue on admission.
+const DefaultTenant = "default"
+
+// TenantLimits are one tenant's quotas. Zero values mean "no per-tenant
+// bound" — the global limits still apply.
+type TenantLimits struct {
+	// MaxSessions bounds the tenant's live (not yet finished) sessions.
+	MaxSessions int `json:"max_sessions,omitempty"`
+	// MaxGraphs bounds the graphs registered (owned) by the tenant.
+	MaxGraphs int `json:"max_graphs,omitempty"`
+	// MaxQueued bounds session-create requests parked on the fair-share
+	// admission queue when the tenant or the pool is at capacity. 0 means
+	// the tenant never queues: an over-capacity create answers 429
+	// immediately.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// Weight is the tenant's fair-share weight (default 1): with the pool
+	// contended, a weight-2 tenant is granted twice the admissions of a
+	// weight-1 tenant.
+	Weight int `json:"weight,omitempty"`
+}
+
+// TenantInfo identifies the tenant a request resolved to, with the limits
+// that applied at resolution time.
+type TenantInfo struct {
+	Name   string
+	Limits TenantLimits
+}
+
+// KeyringConfig is the JSON shape of the -api-keys file:
+//
+//	{
+//	  "tenants": {"acme": {"max_sessions": 8, "max_graphs": 4, "max_queued": 16, "weight": 2}},
+//	  "keys":    {"s3cret": "acme"}
+//	}
+type KeyringConfig struct {
+	Tenants map[string]TenantLimits `json:"tenants"`
+	Keys    map[string]string       `json:"keys"`
+}
+
+func (c KeyringConfig) validate() error {
+	for key, tenant := range c.Keys {
+		if key == "" {
+			return fmt.Errorf("service: keyring has an empty API key")
+		}
+		if tenant == "" {
+			return fmt.Errorf("service: keyring key %q… maps to an empty tenant name", key[:min(4, len(key))])
+		}
+	}
+	return nil
+}
+
+// Keyring resolves API keys to tenants. Safe for concurrent use; Set and
+// Reload swap the whole configuration atomically.
+type Keyring struct {
+	// path is the file Reload re-reads; empty on rings built in memory.
+	path  string
+	state atomic.Pointer[KeyringConfig]
+}
+
+// NewKeyring builds an in-memory keyring (tests, embedders).
+func NewKeyring(cfg KeyringConfig) *Keyring {
+	k := &Keyring{}
+	k.Set(cfg)
+	return k
+}
+
+// OpenKeyring loads a keyring from its JSON file and remembers the path
+// for Reload.
+func OpenKeyring(path string) (*Keyring, error) {
+	k := &Keyring{path: path}
+	if err := k.Reload(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// Reload re-reads the keyring file and swaps the configuration in
+// atomically. On any error the previous configuration stays in force.
+func (k *Keyring) Reload() error {
+	if k.path == "" {
+		return fmt.Errorf("service: keyring was not loaded from a file")
+	}
+	data, err := os.ReadFile(k.path)
+	if err != nil {
+		return fmt.Errorf("service: keyring: %w", err)
+	}
+	var cfg KeyringConfig
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return fmt.Errorf("service: keyring %s: %w", k.path, err)
+	}
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	k.Set(cfg)
+	return nil
+}
+
+// Set replaces the keyring configuration.
+func (k *Keyring) Set(cfg KeyringConfig) { k.state.Store(&cfg) }
+
+// Resolve maps an API key to its tenant. A key naming a tenant absent
+// from the tenants map resolves with zero limits (no per-tenant caps).
+func (k *Keyring) Resolve(key string) (TenantInfo, bool) {
+	cfg := k.state.Load()
+	if cfg == nil || key == "" {
+		return TenantInfo{}, false
+	}
+	tenant, ok := cfg.Keys[key]
+	if !ok {
+		return TenantInfo{}, false
+	}
+	return TenantInfo{Name: tenant, Limits: cfg.Tenants[tenant]}, true
+}
+
+// LimitsFor returns the configured limits of a tenant by name — used at
+// recovery, when the tenant is known from the journal rather than from a
+// key.
+func (k *Keyring) LimitsFor(tenant string) TenantLimits {
+	if cfg := k.state.Load(); cfg != nil {
+		return cfg.Tenants[tenant]
+	}
+	return TenantLimits{}
+}
+
+// apiKey extracts the request credential: Authorization: Bearer wins,
+// X-API-Key is the fallback for clients that cannot set Authorization.
+func apiKey(r *http.Request) string {
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if key, ok := strings.CutPrefix(auth, "Bearer "); ok {
+			return strings.TrimSpace(key)
+		}
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+type tenantCtxKey struct{}
+
+func withTenant(ctx context.Context, tn TenantInfo) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, tn)
+}
+
+// tenantFromRequest returns the tenant the auth middleware resolved, or
+// the default tenant in open mode.
+func tenantFromRequest(r *http.Request) TenantInfo {
+	if tn, ok := r.Context().Value(tenantCtxKey{}).(TenantInfo); ok {
+		return tn
+	}
+	return TenantInfo{Name: DefaultTenant}
+}
+
+// wireTenant renders a tenant name for JSON views: the default tenant is
+// omitted so open-mode responses are byte-identical to the pre-tenancy
+// API.
+func wireTenant(name string) string {
+	if name == DefaultTenant {
+		return ""
+	}
+	return name
+}
+
+// tenantOrDefault maps the empty wire form back to the default tenant.
+func tenantOrDefault(name string) string {
+	if name == "" {
+		return DefaultTenant
+	}
+	return name
+}
+
+// maxTenantLabels caps the number of distinct tenant label values any obs
+// family may carry; tenants beyond the cap are folded into "_other" so a
+// key-churning deployment cannot blow up scrape cardinality.
+const maxTenantLabels = 64
+
+// tenantLabelOverflow is the label value tenants beyond the cap share.
+const tenantLabelOverflow = "_other"
+
+// labelGuard admits the first maxTenantLabels distinct tenant names as
+// label values and folds the rest into tenantLabelOverflow.
+type labelGuard struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func newLabelGuard() *labelGuard { return &labelGuard{seen: make(map[string]bool)} }
+
+func (g *labelGuard) label(tenant string) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seen[tenant] {
+		return tenant
+	}
+	if len(g.seen) >= maxTenantLabels {
+		return tenantLabelOverflow
+	}
+	g.seen[tenant] = true
+	return tenant
+}

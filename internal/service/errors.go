@@ -1,0 +1,112 @@
+package service
+
+// The v1 API error contract. Every error response on the wire is one
+// envelope:
+//
+//	{"error": {"code": "graph_not_found", "message": "...", "request_id": "r17"}}
+//
+// The code is the machine-readable half of the contract: clients, the
+// smoke script and the chaos harness branch on it, never on message text,
+// so messages stay free to improve. Codes are registered here as ErrorCode
+// constants and nowhere else; cmd/apicheck fails CI when a handler passes
+// writeError anything that is not one of these constants.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// ErrorCode is a stable, machine-readable error identifier. The set of
+// codes is part of the v1 API contract (see the README's API reference).
+type ErrorCode string
+
+// The registered error codes. HTTP statuses are listed for orientation;
+// the status is chosen at the call site and the code refines it.
+const (
+	// CodeInvalidRequest (400): malformed body, unknown field, bad query
+	// or parameter value.
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeInvalidCursor (400): an unparseable ?cursor= on a listing
+	// endpoint.
+	CodeInvalidCursor ErrorCode = "invalid_cursor"
+	// CodeUnauthorized (401): missing, unknown or revoked API key on a
+	// server running with -api-keys.
+	CodeUnauthorized ErrorCode = "unauthorized"
+	// CodeGraphNotFound / CodeSessionNotFound (404).
+	CodeGraphNotFound   ErrorCode = "graph_not_found"
+	CodeSessionNotFound ErrorCode = "session_not_found"
+	// CodeNodeNotFound (404): a ?witness= node the hypothesis does not
+	// select.
+	CodeNodeNotFound ErrorCode = "node_not_found"
+	// CodeConflict (409): an answer racing the session state (no pending
+	// question, stale sequence number).
+	CodeConflict ErrorCode = "conflict"
+	// CodeCompacting (409): a store compaction is already running.
+	CodeCompacting ErrorCode = "compaction_in_progress"
+	// CodeQuotaExceeded (429): the caller's own tenant quota (sessions or
+	// graphs) is the binding constraint. Retrying helps only after the
+	// tenant frees capacity.
+	CodeQuotaExceeded ErrorCode = "quota_exceeded"
+	// CodeOverloaded (429): the shared pool is saturated; the request was
+	// within the tenant's quota and a retry after Retry-After is
+	// reasonable.
+	CodeOverloaded ErrorCode = "overloaded"
+	// CodeNotDurable (400): an admin operation that needs a -data-dir on
+	// an in-memory deployment.
+	CodeNotDurable ErrorCode = "not_durable"
+	// CodeDeadlineExceeded (503): the per-request deadline expired.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeStoreFailure (500): the durable layer failed mid-request.
+	CodeStoreFailure ErrorCode = "store_failure"
+	// CodeInternal (500): everything else.
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorBody is the inner object of the error envelope.
+type ErrorBody struct {
+	Code      ErrorCode `json:"code"`
+	Message   string    `json:"message"`
+	RequestID string    `json:"request_id,omitempty"`
+}
+
+// errorEnvelope is the wire shape of every error response.
+type errorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// writeError renders the error envelope. The request id comes from the
+// X-Request-ID response header the instrument middleware already set, so
+// an error can always be correlated with its log line. A durable-layer
+// failure (ErrStore) upgrades any (status, code) to (500, store_failure)
+// here — the client's request was fine, the disk was not — so call sites
+// always pass the code of their own failure mode as a Code* constant
+// (cmd/apicheck enforces exactly that).
+func writeError(w http.ResponseWriter, status int, code ErrorCode, err error) {
+	if errors.Is(err, ErrStore) {
+		status, code = http.StatusInternalServerError, CodeStoreFailure
+	}
+	writeJSON(w, status, errorEnvelope{Error: ErrorBody{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: w.Header().Get("X-Request-ID"),
+	}})
+}
+
+// writeRateLimited answers 429 with a Retry-After hint, so a well-behaved
+// client backs off instead of hammering the admission path.
+func writeRateLimited(w http.ResponseWriter, code ErrorCode, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, code, err)
+}
+
+// DecodeErrorBody parses an error envelope out of a response body; ok
+// reports whether the body carried one. Shared with pkg/client so the
+// wire shape is defined in exactly one place.
+func DecodeErrorBody(body []byte) (ErrorBody, bool) {
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		return ErrorBody{}, false
+	}
+	return env.Error, true
+}

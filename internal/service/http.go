@@ -2,10 +2,14 @@ package service
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +51,9 @@ type Server struct {
 	shutdownOnce sync.Once
 	// metrics records per-endpoint request latency (see metrics.go).
 	metrics *httpMetrics
+	// tenantLabels caps the tenant label cardinality of the per-tenant
+	// request metrics.
+	tenantLabels *labelGuard
 	// reqSeq numbers requests arriving without an X-Request-ID header.
 	reqSeq atomic.Int64
 }
@@ -58,12 +65,13 @@ type Server struct {
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:     opts,
-		registry: NewRegistry(opts),
-		manager:  NewManager(opts),
-		start:    time.Now(),
-		shutdown: make(chan struct{}),
-		metrics:  newHTTPMetrics(opts.Metrics),
+		opts:         opts,
+		registry:     NewRegistry(opts),
+		manager:      NewManager(opts),
+		start:        time.Now(),
+		shutdown:     make(chan struct{}),
+		metrics:      newHTTPMetrics(opts.Metrics),
+		tenantLabels: newLabelGuard(),
 	}
 	s.registerObs()
 	return s
@@ -79,6 +87,7 @@ func (s *Server) registerObs() {
 	reg.GaugeFunc("gpsd_graphs_registered", "Graphs currently registered.",
 		func() float64 { return float64(len(s.registry.List())) })
 	s.manager.registerBackpressure(reg)
+	s.manager.registerTenantObs(reg)
 	reg.SampleFunc("gpsd_cache_hits_total", "Engine cache hits, by graph.", obs.KindCounter,
 		func() []obs.Sample {
 			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Hits) })
@@ -132,17 +141,13 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	route("GET /v1/stats", s.handleStats)
-	route("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.registry.List()})
-	})
+	route("GET /v1/graphs", s.handleListGraphs)
 	route("PUT /v1/graphs/{name}", s.handleLoadGraph)
 	route("GET /v1/graphs/{name}", s.handleGetGraph)
 	route("DELETE /v1/graphs/{name}", s.handleDeleteGraph)
 	route("POST /v1/graphs/{name}/evaluate", s.handleEvaluate)
 	route("POST /v1/sessions", s.handleCreateSession)
-	route("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"sessions": s.manager.List()})
-	})
+	route("GET /v1/sessions", s.handleListSessions)
 	route("GET /v1/sessions/{id}", s.handleGetSession)
 	route("GET /v1/sessions/{id}/events", s.handleSessionEvents)
 	route("POST /v1/sessions/{id}/label", s.handleAnswer)
@@ -167,16 +172,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 	eng := s.opts.Store
 	if eng == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service is not durable: no store engine configured"))
+		writeError(w, http.StatusBadRequest, CodeNotDurable, fmt.Errorf("service is not durable: no store engine configured"))
 		return
 	}
 	rep, err := eng.Compact()
 	if err != nil {
-		code := http.StatusInternalServerError
 		if errors.Is(err, store.ErrCompacting) {
-			code = http.StatusConflict
+			writeError(w, http.StatusConflict, CodeCompacting, err)
+			return
 		}
-		writeError(w, code, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -190,24 +195,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-// errorCode upgrades the fallback status to 500 for durable-layer
-// failures: the client's request was fine, the disk was not.
-func errorCode(err error, fallback int) int {
-	if errors.Is(err, ErrStore) {
-		return http.StatusInternalServerError
-	}
-	return fallback
-}
-
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("invalid request body: %w", err))
 		return false
 	}
 	return true
@@ -220,12 +212,16 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	g, err := BuildGraph(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	h, err := s.registry.Register(r.PathValue("name"), g)
+	h, err := s.registry.RegisterFor(tenantFromRequest(r), r.PathValue("name"), g)
 	if err != nil {
-		writeError(w, errorCode(err, http.StatusBadRequest), err)
+		if errors.Is(err, ErrQuota) {
+			writeRateLimited(w, CodeQuotaExceeded, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, h.info())
@@ -234,7 +230,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 func (s *Server) graphOr404(w http.ResponseWriter, r *http.Request) (*GraphHandle, bool) {
 	h, ok := s.registry.Get(r.PathValue("name"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q is not registered", r.PathValue("name")))
+		writeError(w, http.StatusNotFound, CodeGraphNotFound, fmt.Errorf("graph %q is not registered", r.PathValue("name")))
 	}
 	return h, ok
 }
@@ -247,7 +243,7 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	if !s.registry.Remove(r.PathValue("name")) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q is not registered", r.PathValue("name")))
+		writeError(w, http.StatusNotFound, CodeGraphNotFound, fmt.Errorf("graph %q is not registered", r.PathValue("name")))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
@@ -275,7 +271,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
 	engine, err := h.Engine(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	ctx := r.Context()
@@ -308,7 +304,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // canceled the context, and reports whether it did.
 func deadlineHit(w http.ResponseWriter, ctx context.Context) bool {
 	if err := ctx.Err(); err != nil {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request deadline exceeded: %w", err))
+		writeError(w, http.StatusServiceUnavailable, CodeDeadlineExceeded, fmt.Errorf("request deadline exceeded: %w", err))
 		return true
 	}
 	return false
@@ -371,16 +367,19 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	h, ok := s.registry.Get(cfg.Graph)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("graph %q is not registered", cfg.Graph))
+		writeError(w, http.StatusNotFound, CodeGraphNotFound, fmt.Errorf("graph %q is not registered", cfg.Graph))
 		return
 	}
-	sess, err := s.manager.Create(h, cfg)
+	sess, err := s.manager.CreateFor(tenantFromRequest(r), h, cfg)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrLimit) {
-			code = http.StatusTooManyRequests
+		switch {
+		case errors.Is(err, ErrQuota):
+			writeRateLimited(w, CodeQuotaExceeded, err)
+		case errors.Is(err, ErrLimit):
+			writeRateLimited(w, CodeOverloaded, err)
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		}
-		writeError(w, errorCode(err, code), err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, sess.View())
@@ -389,7 +388,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) sessionOr404(w http.ResponseWriter, r *http.Request) (*HostedSession, bool) {
 	sess, ok := s.manager.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("session %q does not exist", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, CodeSessionNotFound, fmt.Errorf("session %q does not exist", r.PathValue("id")))
 	}
 	return sess, ok
 }
@@ -410,11 +409,11 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sess.Answer(a); err != nil {
-		code := http.StatusBadRequest
 		if errors.Is(err, ErrConflict) {
-			code = http.StatusConflict
+			writeError(w, http.StatusConflict, CodeConflict, err)
+			return
 		}
-		writeError(w, errorCode(err, code), err)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.View())
@@ -432,7 +431,7 @@ func (s *Server) handleHypothesis(w http.ResponseWriter, r *http.Request) {
 	}
 	engine, err := sess.handle.Engine(learned)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	resp := map[string]any{
@@ -443,7 +442,7 @@ func (s *Server) handleHypothesis(w http.ResponseWriter, r *http.Request) {
 	if witnessNode := r.URL.Query().Get("witness"); witnessNode != "" {
 		path, ok := engine.Witness(graph.NodeID(witnessNode))
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("node %q is not selected by the hypothesis", witnessNode))
+			writeError(w, http.StatusNotFound, CodeNodeNotFound, fmt.Errorf("node %q is not selected by the hypothesis", witnessNode))
 			return
 		}
 		resp["witness"] = path
@@ -453,10 +452,111 @@ func (s *Server) handleHypothesis(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	if !s.manager.Remove(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("session %q does not exist", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, CodeSessionNotFound, fmt.Errorf("session %q does not exist", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "canceled"})
+}
+
+// pageParams are the pagination controls shared by the listing endpoints.
+// A request without limit and cursor is unpaged and keeps the original
+// serialize-the-world shape.
+type pageParams struct {
+	limit  int
+	cursor string
+	paged  bool
+}
+
+// parsePage reads ?limit= and ?cursor= and reports false after answering
+// the error itself. Cursors are opaque: base64 over the last item's sort
+// key, prefixed with the listing kind so a graphs cursor cannot be replayed
+// against sessions.
+func parsePage(w http.ResponseWriter, r *http.Request, kind string) (pageParams, bool) {
+	var p pageParams
+	q := r.URL.Query()
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("limit must be a positive integer (got %q)", raw))
+			return p, false
+		}
+		p.limit = n
+		p.paged = true
+	}
+	if raw := q.Get("cursor"); raw != "" {
+		decoded, err := base64.RawURLEncoding.DecodeString(raw)
+		key, ok := strings.CutPrefix(string(decoded), kind+":")
+		if err != nil || !ok {
+			writeError(w, http.StatusBadRequest, CodeInvalidCursor, fmt.Errorf("cursor %q is not a %s cursor", raw, kind))
+			return p, false
+		}
+		p.cursor = key
+		p.paged = true
+	}
+	return p, true
+}
+
+func encodeCursor(kind, key string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(kind + ":" + key))
+}
+
+// page applies the cursor and limit to items already sorted by key and
+// returns the page plus the next cursor ("" on the last page).
+func page[T any](items []T, p pageParams, kind string, key func(T) string) ([]T, string) {
+	if p.cursor != "" {
+		i := sort.Search(len(items), func(i int) bool { return key(items[i]) > p.cursor })
+		items = items[i:]
+	}
+	if p.limit > 0 && len(items) > p.limit {
+		return items[:p.limit], encodeCursor(kind, key(items[p.limit-1]))
+	}
+	return items, ""
+}
+
+// handleListGraphs serves GET /v1/graphs with optional ?limit=&cursor=
+// pagination (stable order: graph name).
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	p, ok := parsePage(w, r, "graphs")
+	if !ok {
+		return
+	}
+	graphs, next := page(s.registry.List(), p, "graphs", func(g GraphInfo) string { return g.Name })
+	resp := map[string]any{"graphs": graphs}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleListSessions serves GET /v1/sessions with optional ?limit=&cursor=
+// pagination (stable order: session id) and ?state=/?graph= filters.
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	p, ok := parsePage(w, r, "sessions")
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	state, graphName := q.Get("state"), q.Get("graph")
+	views := s.manager.List()
+	if state != "" || graphName != "" {
+		filtered := views[:0]
+		for _, v := range views {
+			if state != "" && string(v.Status) != state {
+				continue
+			}
+			if graphName != "" && v.Graph != graphName {
+				continue
+			}
+			filtered = append(filtered, v)
+		}
+		views = filtered
+	}
+	sessions, next := page(views, p, "sessions", func(v SessionView) string { return v.ID })
+	resp := map[string]any{"sessions": sessions}
+	if next != "" {
+		resp["next_cursor"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -468,6 +568,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"graphs":         s.registry.List(),
 		"sessions":       s.manager.Counts(),
 		"backpressure":   s.manager.Backpressure(),
+		"tenants":        s.manager.TenantStats(),
 		"http":           s.metrics.Snapshot(),
 	}
 	if st := s.opts.Store; st != nil {

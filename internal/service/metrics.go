@@ -15,6 +15,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -164,16 +165,27 @@ func (r flushRecorder) Flush() {
 	}
 }
 
-// instrument wraps a handler so its requests carry a request id, are
-// recorded against the endpoint's histogram and request counter, logged
-// at debug level, and — when Options.RequestTimeout is set — bounded by a
-// per-request context deadline. Streaming endpoints (SSE) record the
-// lifetime of the stream, which is what their tail latency means, and are
-// exempt from the deadline — a tail is supposed to stay open.
+// authExempt lists the routes served without an API key even when a
+// keyring is configured: liveness probes and metric scrapers are operator
+// infrastructure, not tenants.
+func authExempt(pattern string) bool {
+	return pattern == "GET /healthz" || pattern == "GET /metrics"
+}
+
+// instrument wraps a handler so its requests carry a request id, resolve
+// to a tenant (answering 401 when a keyring is configured and the key does
+// not resolve), are recorded against the endpoint's histogram and request
+// counter — plus tenant-labelled twins behind the cardinality guard —
+// logged at debug level, and — when Options.RequestTimeout is set —
+// bounded by a per-request context deadline. Streaming endpoints (SSE)
+// record the lifetime of the stream, which is what their tail latency
+// means, and are exempt from the deadline — a tail is supposed to stay
+// open.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.metrics.register(pattern)
 	endpoint := obs.L("endpoint", pattern)
 	streaming := strings.HasSuffix(pattern, "/events")
+	exempt := authExempt(pattern)
 	log := s.opts.Logger
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -192,7 +204,21 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		h(rw, r)
+		tenant := DefaultTenant
+		authed := true
+		if kr := s.opts.Keyring; kr != nil && !exempt {
+			if tn, ok := kr.Resolve(apiKey(r)); ok {
+				tenant = tn.Name
+				r = r.WithContext(withTenant(r.Context(), tn))
+			} else {
+				authed = false
+				writeError(rw, http.StatusUnauthorized, CodeUnauthorized,
+					fmt.Errorf("missing or unknown API key"))
+			}
+		}
+		if authed {
+			h(rw, r)
+		}
 		d := time.Since(start)
 		hist.Observe(d.Microseconds())
 		code := rec.code
@@ -202,10 +228,18 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 		s.opts.Metrics.Counter("gpsd_http_requests_total",
 			"HTTP requests served, by endpoint pattern and status code.",
 			endpoint, obs.L("code", strconv.Itoa(code))).Inc()
+		tl := s.tenantLabels.label(tenant)
+		s.opts.Metrics.Counter("gpsd_tenant_http_requests_total",
+			"HTTP requests served, by tenant and status code.",
+			obs.L("tenant", tl), obs.L("code", strconv.Itoa(code))).Inc()
+		s.opts.Metrics.Histogram("gpsd_tenant_http_request_duration_seconds",
+			"HTTP request latency by tenant (all endpoints pooled).",
+			latencyBucketBoundsUs, 1e-6, obs.L("tenant", tl)).Observe(d.Microseconds())
 		log.Debug("http request",
 			"request_id", reqID,
 			"endpoint", pattern,
 			"path", r.URL.Path,
+			"tenant", tenant,
 			"code", code,
 			"duration_us", d.Microseconds())
 	}

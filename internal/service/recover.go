@@ -41,8 +41,14 @@ func (s *Server) Recover() (RecoveryReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	// The ownership sidecar maps recovered graphs back to their tenants, so
+	// per-tenant graph quotas keep binding across a restart.
+	owners, err := store.LoadOwners(st.Dir())
+	if err != nil {
+		return rep, err
+	}
 	for _, rg := range graphs {
-		s.registry.restore(rg.Name, rg.Graph)
+		s.registry.restore(rg.Name, rg.Graph, tenantOrDefault(owners[rg.Name]))
 		rep.Graphs++
 	}
 	sessions, err := st.RecoverSessions()
@@ -143,6 +149,7 @@ func (m *Manager) Restore(reg *Registry, rs store.RecoveredSession) (resumed boo
 		s := &HostedSession{
 			id:      rs.ID,
 			handle:  h,
+			tenant:  tenantOrDefault(cr.Tenant),
 			cfg:     cr.Config,
 			cancel:  func() {},
 			done:    done,
@@ -180,6 +187,7 @@ func (m *Manager) Restore(reg *Registry, rs store.RecoveredSession) (resumed boo
 	s := &HostedSession{
 		id:      rs.ID,
 		handle:  h,
+		tenant:  tenantOrDefault(cr.Tenant),
 		cfg:     cr.Config,
 		done:    make(chan struct{}),
 		journal: rs.Journal,
@@ -191,14 +199,15 @@ func (m *Manager) Restore(reg *Registry, rs store.RecoveredSession) (resumed boo
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
-	// Resumed sessions bypass the MaxSessions admission check: they held a
-	// slot before the crash, and refusing them would lose user labels.
+	// Resumed sessions bypass the admission check: they held a slot before
+	// the crash, and refusing them would lose user labels. adoptLocked still
+	// books the slot to the tenant, so post-recovery quotas see it.
 	m.mu.Lock()
-	m.live++
+	m.adoptLocked(s.tenant)
 	m.sessions[rs.ID] = s
 	m.mu.Unlock()
 	m.log.Info("session resumed",
-		"session_id", rs.ID, "graph", cr.Graph, "mode", cr.Config.Mode,
+		"session_id", rs.ID, "graph", cr.Graph, "tenant", s.tenant, "mode", cr.Config.Mode,
 		"journaled_questions", len(questions), "journaled_answers", len(answers))
 	m.launch(s, strat, goal, ctx)
 	return true, nil

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/rpq"
+	"repro/internal/store"
 )
 
 // GraphHandle is a snapshot-consistent view of one registered graph. The
@@ -24,6 +25,9 @@ type GraphHandle struct {
 	g       *graph.Graph
 	version uint64
 	cache   *rpq.EngineCache
+	// owner is the tenant that registered the graph; any tenant may read
+	// and evaluate it, but it counts against the owner's MaxGraphs quota.
+	owner string
 }
 
 // Name returns the registry name of the graph.
@@ -60,9 +64,12 @@ func (h *GraphHandle) Engine(queryStr string) (*rpq.Engine, error) {
 	return h.cache.Get(q), nil
 }
 
-// GraphInfo is the JSON-facing summary of one registered graph.
+// GraphInfo is the JSON-facing summary of one registered graph. Owner uses
+// the wire form (the default tenant is elided), keeping open-mode responses
+// byte-identical to the pre-tenancy API.
 type GraphInfo struct {
 	Name    string         `json:"name"`
+	Owner   string         `json:"owner,omitempty"`
 	Nodes   int            `json:"nodes"`
 	Edges   int            `json:"edges"`
 	Labels  int            `json:"labels"`
@@ -73,6 +80,7 @@ type GraphInfo struct {
 func (h *GraphHandle) info() GraphInfo {
 	return GraphInfo{
 		Name:    h.name,
+		Owner:   wireTenant(h.owner),
 		Nodes:   h.g.NumNodes(),
 		Edges:   h.g.NumEdges(),
 		Labels:  len(h.g.Alphabet()),
@@ -100,11 +108,18 @@ func NewRegistry(opts Options) *Registry {
 	return &Registry{opts: opts.withDefaults(), graphs: make(map[string]*GraphHandle)}
 }
 
-// Register installs (or replaces) a graph under the given name and returns
-// its snapshot handle. The graph must not be mutated after registration.
-// On a durable service the snapshot is persisted before the graph becomes
-// visible, so a name the client saw registered is always recoverable.
+// Register installs (or replaces) a graph under the given name for the
+// default tenant — the open-mode path and the one embedders use.
 func (r *Registry) Register(name string, g *graph.Graph) (*GraphHandle, error) {
+	return r.RegisterFor(TenantInfo{Name: DefaultTenant}, name, g)
+}
+
+// RegisterFor installs (or replaces) a graph under the given name, owned by
+// the tenant and counted against its MaxGraphs quota. The graph must not be
+// mutated after registration. On a durable service the snapshot is
+// persisted before the graph becomes visible, so a name the client saw
+// registered is always recoverable.
+func (r *Registry) RegisterFor(tn TenantInfo, name string, g *graph.Graph) (*GraphHandle, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: empty graph name")
 	}
@@ -113,21 +128,40 @@ func (r *Registry) Register(name string, g *graph.Graph) (*GraphHandle, error) {
 	}
 	r.storeMu.Lock()
 	defer r.storeMu.Unlock()
+	if c := tn.Limits.MaxGraphs; c > 0 {
+		// Replacing a name the tenant already owns does not consume a new
+		// quota slot.
+		owned := 0
+		r.mu.RLock()
+		for gname, h := range r.graphs {
+			if h.owner == tn.Name && gname != name {
+				owned++
+			}
+		}
+		r.mu.RUnlock()
+		if owned >= c {
+			return nil, fmt.Errorf("service: tenant %q has %d registered graphs (quota %d): %w", tn.Name, owned, c, ErrQuota)
+		}
+	}
 	if r.opts.Store != nil {
 		if err := r.opts.Store.SaveGraph(name, g); err != nil {
 			return nil, fmt.Errorf("service: %w: %w", ErrStore, err)
 		}
 	}
-	return r.install(name, g), nil
+	h := r.install(name, g, tn.Name)
+	if err := r.saveOwnersLocked(); err != nil {
+		return nil, err
+	}
+	return h, nil
 }
 
 // restore installs a graph recovered from the store without re-persisting
-// its (already durable) snapshot.
-func (r *Registry) restore(name string, g *graph.Graph) *GraphHandle {
-	return r.install(name, g)
+// its (already durable) snapshot or the ownership sidecar.
+func (r *Registry) restore(name string, g *graph.Graph, owner string) *GraphHandle {
+	return r.install(name, g, owner)
 }
 
-func (r *Registry) install(name string, g *graph.Graph) *GraphHandle {
+func (r *Registry) install(name string, g *graph.Graph, owner string) *GraphHandle {
 	h := &GraphHandle{
 		name:    name,
 		g:       g,
@@ -136,11 +170,30 @@ func (r *Registry) install(name string, g *graph.Graph) *GraphHandle {
 			Capacity: r.opts.CacheCapacity,
 			Workers:  r.opts.EvalWorkers,
 		}),
+		owner: owner,
 	}
 	r.mu.Lock()
 	r.graphs[name] = h
 	r.mu.Unlock()
 	return h
+}
+
+// saveOwnersLocked rewrites the graph-ownership sidecar from the registry
+// map. Caller holds storeMu, so the sidecar tracks the snapshot set.
+func (r *Registry) saveOwnersLocked() error {
+	if r.opts.Store == nil {
+		return nil
+	}
+	owners := make(map[string]string)
+	r.mu.RLock()
+	for name, h := range r.graphs {
+		owners[name] = wireTenant(h.owner)
+	}
+	r.mu.RUnlock()
+	if err := store.SaveOwners(r.opts.Store.Dir(), owners); err != nil {
+		return fmt.Errorf("service: %w: %w", ErrStore, err)
+	}
+	return nil
 }
 
 // Get returns the handle registered under name.
@@ -165,6 +218,7 @@ func (r *Registry) Remove(name string) bool {
 		// Best effort: a leftover snapshot re-registers the graph on the
 		// next recovery, which is annoying but safe.
 		_ = r.opts.Store.DeleteGraph(name)
+		_ = r.saveOwnersLocked()
 	}
 	return ok
 }

@@ -45,9 +45,19 @@ type Options struct {
 	// CacheCapacity is the per-graph engine-cache capacity (LRU entries).
 	// 0 means rpq.DefaultCacheCapacity.
 	CacheCapacity int
-	// MaxSessions bounds the number of live (not yet finished) sessions.
-	// 0 means 256.
+	// MaxSessions bounds the number of live (not yet finished) sessions
+	// across all tenants. 0 means 256. Per-tenant caps come from the
+	// Keyring's TenantLimits and bind inside this global pool.
 	MaxSessions int
+	// Keyring, when non-nil, turns on API-key authentication: every request
+	// outside GET /healthz and GET /metrics must carry a key the ring
+	// resolves, and the resolved tenant's quotas govern admission. Nil runs
+	// the service in open mode (every request is the default tenant).
+	Keyring *Keyring
+	// AdmitWait bounds how long a session create may park on the fair-share
+	// admission queue before answering 429. 0 means 2s. Only tenants with
+	// MaxQueued > 0 ever queue.
+	AdmitWait time.Duration
 	// Store, when non-nil, makes the service durable: graph registrations
 	// are snapshotted and session transcripts write-ahead journaled under
 	// the engine's data directory. Any store.Engine works — the JSONL text
@@ -84,6 +94,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 256
+	}
+	if o.AdmitWait <= 0 {
+		o.AdmitWait = 2 * time.Second
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()

@@ -40,9 +40,13 @@ const (
 	recFailed = "failed"
 )
 
-// createRecord is the payload of the first journal record.
+// createRecord is the payload of the first journal record. Tenant uses the
+// wire form (the default tenant is elided), so open-mode journals are
+// byte-identical to pre-tenancy ones and recovery rebuilds per-tenant
+// accounting from the journal alone.
 type createRecord struct {
 	Graph  string        `json:"graph"`
+	Tenant string        `json:"tenant,omitempty"`
 	Config SessionConfig `json:"config"`
 }
 
@@ -142,6 +146,7 @@ type Answer struct {
 type SessionView struct {
 	ID       string        `json:"id"`
 	Graph    string        `json:"graph"`
+	Tenant   string        `json:"tenant,omitempty"`
 	Mode     string        `json:"mode"`
 	Strategy string        `json:"strategy"`
 	Status   SessionStatus `json:"status"`
@@ -157,6 +162,9 @@ type SessionView struct {
 type HostedSession struct {
 	id     string
 	handle *GraphHandle
+	// tenant owns the session; its live-slot accounting is released when
+	// the learning goroutine exits.
+	tenant string
 	cfg    SessionConfig
 	cancel context.CancelFunc
 	// done is closed when the learning goroutine exits.
@@ -213,6 +221,7 @@ func (s *HostedSession) View() SessionView {
 	v := SessionView{
 		ID:       s.id,
 		Graph:    s.handle.Name(),
+		Tenant:   wireTenant(s.tenant),
 		Mode:     s.cfg.Mode,
 		Strategy: s.cfg.Strategy,
 		Status:   s.status,
@@ -535,6 +544,10 @@ type Manager struct {
 	// live counts sessions whose learning goroutine has not exited yet;
 	// it makes the MaxSessions admission check O(1).
 	live int
+	// tenants and vtime are the fair-share admission state (admit.go):
+	// per-tenant live counts, quotas, stride passes and pending queues.
+	tenants map[string]*tenantState
+	vtime   float64
 	// finishedIDs is the FIFO eviction order of retained finished
 	// sessions.
 	finishedIDs []string
@@ -548,20 +561,21 @@ func NewManager(opts Options) *Manager {
 		log:      opts.Logger,
 		tr:       newTracer(opts.Metrics, opts.Logger),
 		sessions: make(map[string]*HostedSession),
+		tenants:  make(map[string]*tenantState),
 	}
 }
 
 // noteFinished is called exactly once by each session's learning goroutine
-// when it exits: it frees the live slot and enrolls the session in the
-// bounded finished-retention queue.
-func (m *Manager) noteFinished(id string) {
+// when it exits: it frees the live slot (waking fair-share waiters) and
+// enrolls the session in the bounded finished-retention queue.
+func (m *Manager) noteFinished(s *HostedSession) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.live--
-	if _, ok := m.sessions[id]; !ok {
+	m.releaseLocked(s.tenant)
+	if _, ok := m.sessions[s.id]; !ok {
 		return // already removed explicitly
 	}
-	m.finishedIDs = append(m.finishedIDs, id)
+	m.finishedIDs = append(m.finishedIDs, s.id)
 	m.evictFinishedLocked()
 }
 
@@ -614,10 +628,16 @@ func parseQuery(s string) (*regex.Expr, error) {
 	return q, nil
 }
 
-// Create starts a new hosted session on the graph and returns it. The
-// learning loop runs in its own goroutine until it halts, is canceled, or
-// converges.
+// Create starts a new hosted session on the graph for the default tenant —
+// the open-mode path and the one embedders use.
 func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, error) {
+	return m.CreateFor(TenantInfo{Name: DefaultTenant}, h, cfg)
+}
+
+// CreateFor starts a new hosted session on the graph, charged to the
+// tenant's quota and fair-share account. The learning loop runs in its own
+// goroutine until it halts, is canceled, or converges.
+func (m *Manager) CreateFor(tn TenantInfo, h *GraphHandle, cfg SessionConfig) (*HostedSession, error) {
 	if err := h.Check(); err != nil {
 		return nil, err
 	}
@@ -640,27 +660,24 @@ func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, err
 		return nil, fmt.Errorf("service: unknown session mode %q (want manual or simulated)", cfg.Mode)
 	}
 
-	m.mu.Lock()
-	if m.live >= m.opts.MaxSessions {
-		live := m.live
-		m.mu.Unlock()
-		return nil, fmt.Errorf("service: %d live sessions: %w", live, ErrLimit)
+	if err := m.admit(tn); err != nil {
+		return nil, err
 	}
-	m.live++
+	m.mu.Lock()
 	m.nextID++
 	id := fmt.Sprintf("s%04d", m.nextID)
 	m.mu.Unlock()
 
 	jr, err := m.newJournal(id)
 	if err == nil {
-		err = jr.Append(recCreate, createRecord{Graph: h.Name(), Config: cfg})
+		err = jr.Append(recCreate, createRecord{Graph: h.Name(), Tenant: wireTenant(tn.Name), Config: cfg})
 	}
 	if err != nil {
 		if jr != nil {
 			_ = jr.Remove()
 		}
 		m.mu.Lock()
-		m.live--
+		m.releaseLocked(tn.Name)
 		m.mu.Unlock()
 		return nil, fmt.Errorf("service: %w: %w", ErrStore, err)
 	}
@@ -668,6 +685,7 @@ func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, err
 	s := &HostedSession{
 		id:      id,
 		handle:  h,
+		tenant:  tn.Name,
 		cfg:     cfg,
 		done:    make(chan struct{}),
 		journal: jr,
@@ -680,7 +698,7 @@ func (m *Manager) Create(h *GraphHandle, cfg SessionConfig) (*HostedSession, err
 	m.sessions[id] = s
 	m.mu.Unlock()
 	m.log.Info("session created",
-		"session_id", id, "graph", h.Name(), "mode", cfg.Mode, "strategy", cfg.Strategy)
+		"session_id", id, "graph", h.Name(), "tenant", tn.Name, "mode", cfg.Mode, "strategy", cfg.Strategy)
 	m.launch(s, strat, goal, ctx)
 	return s, nil
 }
@@ -712,7 +730,7 @@ func (m *Manager) launch(s *HostedSession, strat interactive.Strategy, goal *reg
 	}
 	sess := interactive.NewSession(h.Graph(), &observedUser{inner: inner, s: s}, opts)
 	go func() {
-		defer m.noteFinished(s.id)
+		defer m.noteFinished(s)
 		defer close(s.done)
 		tr, err := sess.RunContext(ctx)
 		s.mu.Lock()

@@ -26,7 +26,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("response writer does not support streaming"))
 		return
 	}
 	var after uint64
@@ -36,7 +36,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("after"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid after parameter %q", v))
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("invalid after parameter %q", v))
 			return
 		}
 		after = n

@@ -1,0 +1,76 @@
+package store
+
+// Graph ownership sidecar. Graph snapshots are tenant-agnostic (either
+// engine can serve any tenant's graphs), so which tenant owns which graph
+// — the input to per-tenant graph quotas after a restart — is persisted
+// as one small JSON file in the data directory, rewritten atomically on
+// every ownership change. Session ownership needs no sidecar: the create
+// record of every session journal carries the tenant id.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ownersFile is the sidecar file name inside the data directory.
+const ownersFile = "owners.json"
+
+// ownersDoc is the sidecar's JSON shape.
+type ownersDoc struct {
+	// Graphs maps graph name to owning tenant. The default tenant is
+	// stored as "" (matching the wire form), so open-mode deployments
+	// write an empty map.
+	Graphs map[string]string `json:"graphs"`
+}
+
+// SaveOwners atomically replaces the graph-ownership sidecar of a data
+// directory. Owners with an empty tenant are elided — absence means the
+// default tenant.
+func SaveOwners(dir string, owners map[string]string) error {
+	doc := ownersDoc{Graphs: make(map[string]string, len(owners))}
+	for name, tenant := range owners {
+		if tenant != "" {
+			doc.Graphs[name] = tenant
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, ownersFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: owners sidecar: %w", err)
+	}
+	if f, err := os.Open(tmp); err == nil {
+		_ = f.Sync()
+		_ = f.Close()
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ownersFile)); err != nil {
+		return fmt.Errorf("store: owners sidecar: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadOwners reads the graph-ownership sidecar; a missing file is an
+// empty map (every graph owned by the default tenant), and a corrupt file
+// is reported rather than guessed at.
+func LoadOwners(dir string) (map[string]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ownersFile))
+	if os.IsNotExist(err) {
+		return map[string]string{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: owners sidecar: %w", err)
+	}
+	var doc ownersDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("store: owners sidecar: %w", err)
+	}
+	if doc.Graphs == nil {
+		doc.Graphs = map[string]string{}
+	}
+	return doc.Graphs, nil
+}

@@ -1,0 +1,394 @@
+// Package client is the typed Go client for the gpsd v1 API. It covers
+// the whole surface — graph loading, ad-hoc evaluation, session lifecycle,
+// the SSE event stream, stats and the Prometheus metrics scrape — decodes
+// the v1 error envelope into typed *APIError values (so callers branch on
+// stable error codes, never on message text), and authenticates with an
+// API key on multi-tenant deployments.
+//
+//	c := client.New("http://127.0.0.1:8080", client.WithAPIKey("s3cret"))
+//	v, err := c.CreateSession(ctx, service.SessionConfig{Graph: "demo"})
+//	if client.IsCode(err, service.CodeQuotaExceeded) { ... back off ... }
+//
+// The request/response types are the service package's own wire types, so
+// client and server cannot drift apart silently.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// Client talks to one gpsd base URL. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	key  string
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithAPIKey sends the key as an Authorization: Bearer header on every
+// request — required against a gpsd running with -api-keys.
+func WithAPIKey(key string) Option { return func(c *Client) { c.key = key } }
+
+// WithTimeout bounds every non-streaming request. The default is 10s;
+// Events streams are exempt (they use a dedicated transport-level client).
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.hc.Timeout = d } }
+
+// WithHTTPClient substitutes the underlying *http.Client wholesale.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a client for the gpsd at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: baseURL, hc: &http.Client{Timeout: 10 * time.Second}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response decoded from the v1 error envelope.
+// Code is the stable machine-readable half of the API contract; Message
+// is human-oriented and free to change between versions.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code identifies the failure; see the service.Code* constants.
+	Code service.ErrorCode
+	// Message is the human-readable detail.
+	Message string
+	// RequestID correlates the failure with the server's log line.
+	RequestID string
+	// RetryAfter is the server's Retry-After hint in seconds (0 if none).
+	RetryAfter int
+}
+
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("gpsd: %d %s: %s (request %s)", e.Status, e.Code, e.Message, e.RequestID)
+	}
+	return fmt.Sprintf("gpsd: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// CodeOf extracts the API error code, or "" when err is nil or not an
+// *APIError (transport failures, decode failures).
+func CodeOf(err error) service.ErrorCode {
+	var ae *APIError
+	if ok := asAPIError(err, &ae); ok {
+		return ae.Code
+	}
+	return ""
+}
+
+// IsCode reports whether err is an *APIError carrying the given code.
+func IsCode(err error, code service.ErrorCode) bool { return CodeOf(err) == code }
+
+func asAPIError(err error, out **APIError) bool {
+	for err != nil {
+		if ae, ok := err.(*APIError); ok {
+			*out = ae
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// do runs one JSON request. A non-2xx answer becomes an *APIError (with
+// Code "" when the body carried no envelope — a proxy error, say); a nil
+// error means out (if non-nil) was decoded from the response body.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeAPIError(resp)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func decodeAPIError(resp *http.Response) *APIError {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	ae := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		ae.RetryAfter, _ = strconv.Atoi(ra)
+	}
+	if body, ok := service.DecodeErrorBody(data); ok {
+		ae.Code, ae.Message, ae.RequestID = body.Code, body.Message, body.RequestID
+	} else {
+		ae.Message = string(bytes.TrimSpace(data))
+	}
+	return ae
+}
+
+// Health probes GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// LoadGraph registers (or replaces) a graph via PUT /v1/graphs/{name}.
+func (c *Client) LoadGraph(ctx context.Context, name string, spec service.LoadSpec) (service.GraphInfo, error) {
+	var gi service.GraphInfo
+	err := c.do(ctx, http.MethodPut, "/v1/graphs/"+url.PathEscape(name), spec, &gi)
+	return gi, err
+}
+
+// Graph fetches one graph's stats.
+func (c *Client) Graph(ctx context.Context, name string) (service.GraphInfo, error) {
+	var gi service.GraphInfo
+	err := c.do(ctx, http.MethodGet, "/v1/graphs/"+url.PathEscape(name), nil, &gi)
+	return gi, err
+}
+
+// DeleteGraph unregisters a graph.
+func (c *Client) DeleteGraph(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), nil, nil)
+}
+
+// GraphPage is one page of GET /v1/graphs.
+type GraphPage struct {
+	Graphs []service.GraphInfo `json:"graphs"`
+	// NextCursor is "" on the last page; pass it back to continue.
+	NextCursor string `json:"next_cursor"`
+}
+
+// GraphsPage lists graphs with pagination (stable order: name). limit 0
+// with cursor "" is the unpaged listing.
+func (c *Client) GraphsPage(ctx context.Context, limit int, cursor string) (GraphPage, error) {
+	var p GraphPage
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	path := "/v1/graphs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &p)
+	return p, err
+}
+
+// Graphs lists every registered graph.
+func (c *Client) Graphs(ctx context.Context) ([]service.GraphInfo, error) {
+	p, err := c.GraphsPage(ctx, 0, "")
+	return p.Graphs, err
+}
+
+// EvaluateRequest is the body of POST /v1/graphs/{name}/evaluate.
+type EvaluateRequest struct {
+	// Query is the path query in the paper's syntax.
+	Query string `json:"query"`
+	// Witnesses requests one shortest witness path per selected node.
+	Witnesses bool `json:"witnesses,omitempty"`
+	// Limit truncates the returned node (and witness) lists; 0 means all.
+	Limit int `json:"limit,omitempty"`
+}
+
+// EvaluateResult is the evaluation response.
+type EvaluateResult struct {
+	Query      string                        `json:"query"`
+	Nodes      []graph.NodeID                `json:"nodes"`
+	Count      int                           `json:"count"`
+	DurationUs int64                         `json:"duration_us"`
+	Witnesses  map[graph.NodeID][]graph.Edge `json:"witnesses,omitempty"`
+}
+
+// Evaluate runs a query on a registered graph.
+func (c *Client) Evaluate(ctx context.Context, graphName string, req EvaluateRequest) (EvaluateResult, error) {
+	var res EvaluateResult
+	err := c.do(ctx, http.MethodPost, "/v1/graphs/"+url.PathEscape(graphName)+"/evaluate", req, &res)
+	return res, err
+}
+
+// CreateSession starts a learning session.
+func (c *Client) CreateSession(ctx context.Context, cfg service.SessionConfig) (service.SessionView, error) {
+	var v service.SessionView
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", cfg, &v)
+	return v, err
+}
+
+// Session fetches one session's state and pending question.
+func (c *Client) Session(ctx context.Context, id string) (service.SessionView, error) {
+	var v service.SessionView
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+url.PathEscape(id), nil, &v)
+	return v, err
+}
+
+// SessionPage is one page of GET /v1/sessions.
+type SessionPage struct {
+	Sessions []service.SessionView `json:"sessions"`
+	// NextCursor is "" on the last page; pass it back to continue.
+	NextCursor string `json:"next_cursor"`
+}
+
+// SessionFilter narrows GET /v1/sessions. Zero values select everything.
+type SessionFilter struct {
+	// State keeps only sessions in that status (e.g. "running", "done").
+	State string
+	// Graph keeps only sessions on that graph.
+	Graph string
+}
+
+// SessionsPage lists sessions with filters and pagination (stable order:
+// session id). limit 0 with cursor "" is the unpaged listing.
+func (c *Client) SessionsPage(ctx context.Context, f SessionFilter, limit int, cursor string) (SessionPage, error) {
+	var p SessionPage
+	q := url.Values{}
+	if f.State != "" {
+		q.Set("state", f.State)
+	}
+	if f.Graph != "" {
+		q.Set("graph", f.Graph)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
+	}
+	path := "/v1/sessions"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &p)
+	return p, err
+}
+
+// Sessions lists the sessions matching the filter.
+func (c *Client) Sessions(ctx context.Context, f SessionFilter) ([]service.SessionView, error) {
+	p, err := c.SessionsPage(ctx, f, 0, "")
+	return p.Sessions, err
+}
+
+// Answer delivers the reply to a session's pending question and returns
+// the refreshed view.
+func (c *Client) Answer(ctx context.Context, id string, a service.Answer) (service.SessionView, error) {
+	var v service.SessionView
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/label", a, &v)
+	return v, err
+}
+
+// DeleteSession cancels and drops a session.
+func (c *Client) DeleteSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// HypothesisResult is the current hypothesis and its answer set. Learned
+// is "" while the session has no hypothesis yet.
+type HypothesisResult struct {
+	Learned string         `json:"learned"`
+	Nodes   []graph.NodeID `json:"nodes"`
+	Count   int            `json:"count"`
+	Witness []graph.Edge   `json:"witness,omitempty"`
+}
+
+// Hypothesis fetches a session's current hypothesis; witnessNode, when
+// non-empty, also requests a shortest witness path for that node.
+func (c *Client) Hypothesis(ctx context.Context, id, witnessNode string) (HypothesisResult, error) {
+	path := "/v1/sessions/" + url.PathEscape(id) + "/hypothesis"
+	if witnessNode != "" {
+		path += "?witness=" + url.QueryEscape(witnessNode)
+	}
+	var res HypothesisResult
+	err := c.do(ctx, http.MethodGet, path, nil, &res)
+	return res, err
+}
+
+// Compact triggers one store compaction pass (durable deployments only).
+func (c *Client) Compact(ctx context.Context) (store.CompactionReport, error) {
+	var rep store.CompactionReport
+	err := c.do(ctx, http.MethodPost, "/v1/admin/compact", nil, &rep)
+	return rep, err
+}
+
+// Stats fetches the raw /v1/stats document.
+func (c *Client) Stats(ctx context.Context) (map[string]json.RawMessage, error) {
+	var out map[string]json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// TenantStats decodes the per-tenant admission accounting out of
+// /v1/stats, keyed by tenant name.
+func (c *Client) TenantStats(ctx context.Context) (map[string]service.TenantBackpressure, error) {
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]service.TenantBackpressure{}
+	if raw, ok := stats["tenants"]; ok {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, fmt.Errorf("client: decode tenants stats: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Metrics scrapes GET /metrics and returns the raw Prometheus text
+// exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: %w", err)
+	}
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", decodeAPIError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: read /metrics: %w", err)
+	}
+	return string(data), nil
+}

@@ -1,0 +1,105 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Event is one server-sent event from a session's journal stream. Seq is
+// the journal sequence number (usable as the reconnect cursor), Type the
+// journal record type ("create", "question", "answer", "merge", "done",
+// "failed", ...), and Data the record's raw JSON payload.
+type Event struct {
+	Seq  uint64
+	Type string
+	Data json.RawMessage
+}
+
+// Terminal reports whether the event ends the stream.
+func (e Event) Terminal() bool { return e.Type == "done" || e.Type == "failed" }
+
+// EventStream is an open GET /v1/sessions/{id}/events connection. Read
+// events with Next until it returns io.EOF (server closed the stream after
+// a terminal event) or an error; always Close when done.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+	// LastSeq is the sequence of the last event delivered — pass it as
+	// `after` to Events to resume a dropped stream without replays.
+	LastSeq uint64
+}
+
+// Events opens a session's event stream. after > 0 skips the journal
+// prefix up to and including that sequence (reconnect); 0 replays the full
+// history. The stream outlives the client timeout: it is served on a
+// transport without an overall deadline and canceled via ctx.
+func (c *Client) Events(ctx context.Context, id string, after uint64) (*EventStream, error) {
+	path := c.base + "/v1/sessions/" + id + "/events"
+	if after > 0 {
+		path += "?after=" + strconv.FormatUint(after, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if c.key != "" {
+		req.Header.Set("Authorization", "Bearer "+c.key)
+	}
+	// A streaming read must not be cut by the client-wide timeout, so the
+	// stream uses a timeout-free shallow copy of the configured client.
+	hc := *c.hc
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	if resp.StatusCode >= 400 {
+		defer resp.Body.Close()
+		return nil, decodeAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return &EventStream{body: resp.Body, sc: sc, LastSeq: after}, nil
+}
+
+// Next blocks for the next event. It returns io.EOF once the server ends
+// the stream (after a done/failed event, a session delete, or a server
+// shutdown) and skips heartbeat comments transparently.
+func (s *EventStream) Next() (Event, error) {
+	var ev Event
+	haveData := false
+	for s.sc.Scan() {
+		line := s.sc.Bytes()
+		switch {
+		case len(line) == 0:
+			// Blank line ends one event frame; heartbeats (comment-only
+			// frames) carry no data and are skipped.
+			if haveData {
+				s.LastSeq = ev.Seq
+				return ev, nil
+			}
+		case line[0] == ':':
+			// keep-alive comment
+		case bytes.HasPrefix(line, []byte("id: ")):
+			ev.Seq, _ = strconv.ParseUint(string(line[4:]), 10, 64)
+		case bytes.HasPrefix(line, []byte("event: ")):
+			ev.Type = string(line[7:])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			ev.Data = append(json.RawMessage(nil), line[6:]...)
+			haveData = true
+		}
+	}
+	if err := s.sc.Err(); err != nil {
+		return Event{}, fmt.Errorf("client: event stream: %w", err)
+	}
+	return Event{}, io.EOF
+}
+
+// Close releases the underlying connection.
+func (s *EventStream) Close() error { return s.body.Close() }

@@ -1,23 +1,28 @@
 #!/usr/bin/env bash
 # Smoke test for the gpsd service, run once per storage engine (binary and
-# text): start the server durable, load graphs, run one simulated learning
-# session to convergence over HTTP, evaluate a query, read the stats —
-# then kill the server mid-manual-session — first a graceful SIGTERM,
-# then a hard SIGKILL — and verify that graphs, the finished session and
-# the parked manual session (hypothesis included) all survive each
-# restart, and that the SSE event stream replays the journal. The kill
-# matrix also pins the LOCK protocol: a second daemon on the same data dir
-# fails fast, a SIGKILLed daemon leaks its LOCK file and the next boot
-# breaks the stale lock, a clean SIGTERM removes it. Binary engine only:
-# a -compact restart keeps the finished session inspectable and
-# POST /v1/admin/compact compacts a serving daemon. Used by CI; runnable
-# locally with ./scripts/smoke_gpsd.sh [engine ...].
+# text). The shell half does what shell is good at — booting daemons,
+# sending signals, checking LOCK files and grepping the /metrics and
+# /v1/stats surfaces — while every session-level check is delegated to the
+# typed Go client via `gpsbench -smokedrive` (evaluate + error-code
+# contract, a simulated session driven to convergence, a manual session
+# parked mid-question, before/after state snapshots diffed across each
+# kill). The kill matrix pins recovery: a graceful SIGTERM and a hard
+# SIGKILL both restart into byte-identical session state, the LOCK
+# protocol holds (second daemon fails fast, SIGKILL leaks the lock, the
+# next boot breaks it, SIGTERM removes it), and the SSE stream replays
+# the journal. Binary engine only: a -compact restart keeps the finished
+# session inspectable and POST /v1/admin/compact compacts a serving
+# daemon. A final keyring segment boots with -api-keys, asserts the
+# unauthorized envelope code on the wire, rotates the key file and proves
+# SIGHUP hot-reload revokes the old key without a restart. Used by CI;
+# runnable locally with ./scripts/smoke_gpsd.sh [engine ...].
 set -euo pipefail
 
 ADDR="${GPSD_ADDR:-127.0.0.1:18080}"
 BASE="http://$ADDR"
 WORK="$(mktemp -d)"
 BIN="$WORK/gpsd"
+BENCH="$WORK/gpsbench"
 GPSD_PID=""
 if [ "$#" -gt 0 ]; then ENGINES=("$@"); else ENGINES=(binary text); fi
 
@@ -60,6 +65,12 @@ kill_server() {
   GPSD_PID=""
 }
 
+# smokedrive MODE [args...] — one typed-client check against $BASE.
+smokedrive() {
+  mode="$1"; shift
+  "$BENCH" -smokedrive "$mode" -smoke-base "$BASE" "$@"
+}
+
 # metric_value FILE PATTERN — numeric value of the first sample line whose
 # name{labels} part matches PATTERN in a /metrics scrape.
 metric_value() {
@@ -74,6 +85,7 @@ assert_ge() {
 }
 
 go build -o "$BIN" ./cmd/gpsd
+go build -o "$BENCH" ./cmd/gpsbench
 
 run_engine() {
   ENGINE="$1"
@@ -91,36 +103,24 @@ run_engine() {
   fi
   grep -qi "locked" "$WORK/second.log"
 
-  # Evaluate the paper's goal query on the preloaded Figure 1 graph: it
-  # must select exactly the four neighbourhoods N1, N2, N4, N6.
-  curl -fsS -X POST "$BASE/v1/graphs/demo/evaluate" \
-    -d '{"query":"(tram+bus)*.cinema","witnesses":true}' | tee /tmp/gpsd_eval.json
-  grep -q '"count": 4' /tmp/gpsd_eval.json
+  # Evaluate the paper's goal query on the preloaded Figure 1 graph (it
+  # must select exactly the four neighbourhoods), load a second graph
+  # inline, and pin the error contract: every canonical failure answers
+  # with its stable error code, and a limit-1 cursor walk visits exactly
+  # the unpaged graph listing.
+  smokedrive eval
 
-  # Load a second graph inline to exercise the text loader.
-  curl -fsS -X PUT "$BASE/v1/graphs/tiny" \
-    -d '{"format":"text","data":"edge a tram b\nedge b cinema c\n"}' >/dev/null
+  # The same contract holds on the raw wire, independent of the client:
+  # the envelope carries a machine-readable code, not message prose.
+  curl -sS "$BASE/v1/graphs/no-such-graph" >/tmp/gpsd_envelope.json
+  grep -q '"code": "graph_not_found"' /tmp/gpsd_envelope.json
+  grep -q '"request_id"' /tmp/gpsd_envelope.json
 
-  # Drive one simulated learning session to convergence.
-  SID=$(curl -fsS -X POST "$BASE/v1/sessions" \
-    -d '{"graph":"demo","mode":"simulated","goal":"(tram+bus)*.cinema"}' \
-    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+  # Drive one simulated learning session to convergence (halt must be
+  # user-satisfied) and verify its hypothesis and SSE replay.
+  SID=$(smokedrive simulate)
   test -n "$SID"
-
-  STATUS=""
-  for _ in $(seq 1 100); do
-    STATUS=$(curl -fsS "$BASE/v1/sessions/$SID" | sed -n 's/.*"status": "\([^"]*\)".*/\1/p')
-    [ "$STATUS" = "done" ] && break
-    sleep 0.1
-  done
-  [ "$STATUS" = "done" ]
-
-  curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session.json
-  grep -q '"halt": "user-satisfied"' /tmp/gpsd_session.json
-
-  curl -fsS "$BASE/v1/sessions/$SID/hypothesis" | tee /tmp/gpsd_hyp.json
-  grep -q '"learned"' /tmp/gpsd_hyp.json
-  grep -q '"count": 4' /tmp/gpsd_hyp.json
+  smokedrive checkdone -smoke-session "$SID"
 
   curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats.json
   grep -q '"graphs"' /tmp/gpsd_stats.json
@@ -153,24 +153,13 @@ run_engine() {
 
   # --- Kill-and-restart recovery -------------------------------------------
   # Park a manual session on its satisfied question (one positive label
-  # in), capture its state, SIGTERM the server mid-session and restart
+  # in), snapshot its state, SIGTERM the server mid-session and restart
   # from the same data dir: the session list, the parked question and the
   # hypothesis must survive byte-identically.
-  MID=$(curl -fsS -X POST "$BASE/v1/sessions" -d '{"graph":"demo","mode":"manual"}' \
-    | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+  MID=$(smokedrive park)
   test -n "$MID"
-  for _ in $(seq 1 100); do
-    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "label"' && break
-    sleep 0.1
-  done
-  curl -fsS -X POST "$BASE/v1/sessions/$MID/label" -d '{"decision":"positive"}' >/dev/null
-  for _ in $(seq 1 100); do
-    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
-    sleep 0.1
-  done
-  curl -fsS "$BASE/v1/sessions/$MID" | tee /tmp/gpsd_manual_before.json
+  smokedrive snapshot -smoke-session "$MID" -smoke-out /tmp/gpsd_manual_before.json
   grep -q '"kind": "satisfied"' /tmp/gpsd_manual_before.json
-  curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_before.json
 
   # Counters are monotonic within a server process: the manual-session
   # traffic above can only have grown the journal-append counter.
@@ -185,26 +174,14 @@ run_engine() {
   grep -q '"demo"' /tmp/gpsd_graphs_after.json
   grep -q '"tiny"' /tmp/gpsd_graphs_after.json
 
-  # The finished simulated session is still listed with its result.
-  curl -fsS "$BASE/v1/sessions/$SID" | tee /tmp/gpsd_session_after.json
-  grep -q '"halt": "user-satisfied"' /tmp/gpsd_session_after.json
+  # The finished simulated session is still listed with its result, its
+  # hypothesis still selects the four neighbourhoods, and the SSE stream
+  # replays the whole journal down to the terminal done event.
+  smokedrive checkdone -smoke-session "$SID"
 
   # The manual session resumed at its exact pre-crash state.
-  for _ in $(seq 1 100); do
-    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
-    sleep 0.1
-  done
-  curl -fsS "$BASE/v1/sessions/$MID" >/tmp/gpsd_manual_after.json
+  smokedrive snapshot -smoke-session "$MID" -smoke-out /tmp/gpsd_manual_after.json
   diff /tmp/gpsd_manual_before.json /tmp/gpsd_manual_after.json
-  curl -fsS "$BASE/v1/sessions/$MID/hypothesis" >/tmp/gpsd_manual_hyp_after.json
-  diff /tmp/gpsd_manual_hyp_before.json /tmp/gpsd_manual_hyp_after.json
-
-  # The SSE stream replays the finished session's journal and closes at
-  # done.
-  curl -fsS "$BASE/v1/sessions/$SID/events" >/tmp/gpsd_events.txt
-  grep -q '^event: create' /tmp/gpsd_events.txt
-  grep -q '^event: hypothesis' /tmp/gpsd_events.txt
-  grep -q '^event: done' /tmp/gpsd_events.txt
 
   # Recovery is visible in the stats.
   curl -fsS "$BASE/v1/stats" | tee /tmp/gpsd_stats_after.json
@@ -237,12 +214,8 @@ run_engine() {
   kill_server
   [ -f "$DATA_DIR/LOCK" ] || { echo "SIGKILL must leak the LOCK file" >&2; exit 1; }
   start_server
-  curl -fsS "$BASE/v1/sessions/$SID" | grep -q '"halt": "user-satisfied"'
-  for _ in $(seq 1 100); do
-    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
-    sleep 0.1
-  done
-  curl -fsS "$BASE/v1/sessions/$MID" >/tmp/gpsd_manual_sigkill.json
+  smokedrive checkdone -smoke-session "$SID"
+  smokedrive snapshot -smoke-session "$MID" -smoke-out /tmp/gpsd_manual_sigkill.json
   diff /tmp/gpsd_manual_before.json /tmp/gpsd_manual_sigkill.json
 
   # Admin-triggered compaction works on a serving daemon (the text engine
@@ -258,16 +231,9 @@ run_engine() {
     stop_server
     start_server -compact
     grep -q 'compacted' "$LOG"
-    curl -fsS "$BASE/v1/sessions/$SID" >/tmp/gpsd_session_compacted.json
-    grep -q '"halt": "user-satisfied"' /tmp/gpsd_session_compacted.json
-    curl -fsS "$BASE/v1/sessions/$SID/events" >/tmp/gpsd_events_compacted.txt
-    grep -q '^event: create' /tmp/gpsd_events_compacted.txt
-    grep -q '^event: done' /tmp/gpsd_events_compacted.txt
-    for _ in $(seq 1 100); do
-      curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"' && break
-      sleep 0.1
-    done
-    curl -fsS "$BASE/v1/sessions/$MID" | grep -q '"kind": "satisfied"'
+    smokedrive checkdone -smoke-session "$SID"
+    smokedrive snapshot -smoke-session "$MID" -smoke-out /tmp/gpsd_manual_compacted.json
+    grep -q '"kind": "satisfied"' /tmp/gpsd_manual_compacted.json
     curl -fsS "$BASE/v1/stats" | grep -q '"compaction_runs": 1'
   fi
 
@@ -277,8 +243,53 @@ run_engine() {
   echo "=== smoke: $ENGINE engine passed ==="
 }
 
+# --- API keys + SIGHUP reload ----------------------------------------------
+# Boot with a keyring: unkeyed requests get the unauthorized envelope on
+# the wire, a keyed client works end-to-end and its sessions land on its
+# tenant. Then rotate the key file and SIGHUP: the new key is live and the
+# old one revoked, without a restart.
+run_auth() {
+  ENGINE=binary
+  DATA_DIR="$WORK/data-auth"
+  LOG="$WORK/gpsd-auth.log"
+  KEYS="$WORK/keyring.json"
+  echo "=== smoke: API keys + SIGHUP reload ==="
+
+  cat >"$KEYS" <<'EOF'
+{
+  "tenants": {"acme": {"max_sessions": 4, "max_graphs": 4}},
+  "keys": {"sk-smoke-old": "acme"}
+}
+EOF
+  start_server -preload demo=figure1 -api-keys "$KEYS"
+
+  curl -sS "$BASE/v1/graphs" >/tmp/gpsd_unauth.json
+  grep -q '"code": "unauthorized"' /tmp/gpsd_unauth.json
+  smokedrive auth -smoke-key sk-smoke-old
+
+  cat >"$KEYS" <<'EOF'
+{
+  "tenants": {"acme": {"max_sessions": 4, "max_graphs": 4}},
+  "keys": {"sk-smoke-new": "acme"}
+}
+EOF
+  kill -HUP "$GPSD_PID"
+  for _ in $(seq 1 50); do
+    grep -q 'keyring reloaded' "$LOG" && break
+    sleep 0.1
+  done
+  grep -q 'keyring reloaded' "$LOG"
+
+  smokedrive auth -smoke-key sk-smoke-new
+  smokedrive auth -smoke-key sk-smoke-old -smoke-expect-unauthorized
+
+  stop_server
+  echo "=== smoke: API keys + SIGHUP reload passed ==="
+}
+
 for engine in "${ENGINES[@]}"; do
   run_engine "$engine"
 done
+run_auth
 
 echo "gpsd smoke test passed"
