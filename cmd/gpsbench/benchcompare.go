@@ -8,21 +8,17 @@ import (
 )
 
 // Bench-regression gate: -benchcmp compares a fresh -rpqbench summary
-// against the checked-in baseline (BENCH_baseline.json) and fails on a
-// regression, so CI catches performance losses the way it catches test
-// failures.
+// against the checked-in baseline (BENCH_baseline.json).
 //
-// Two checks run:
-//
-//   - the median ns/op ratio across all benchmarks must not regress by
-//     more than the threshold. The median absorbs single-benchmark noise,
-//     but ns/op is inherently machine-sensitive: a uniformly slower
-//     runner moves every ratio and can trip the gate without a code
-//     change, so the baseline must be refreshed when the CI hardware
-//     shifts (see ROADMAP for the same-machine two-run alternative);
-//   - allocs/op, which is deterministic and machine-independent, must not
-//     regress by more than the threshold on any individual benchmark
-//     (with a small floor so 0→1 blips don't fail the build).
+// Only allocs/op — deterministic and machine-independent — can fail the
+// gate: a benchmark must not regress by more than the threshold (with a
+// small floor so 0→1 blips don't fail the build). The ns/op comparison is
+// printed for information only; absolute ns/op against a checked-in
+// baseline is inherently machine-sensitive (a uniformly slower runner
+// moves every ratio without any code change), so wall-clock performance
+// is gated by the same-machine two-run ratios instead: -rpqgate on the
+// cached/sharded speedups inside one -rpqbench run, and -indexgate on the
+// indexed-vs-unindexed speedup inside one -indexbench run.
 //
 // Refresh the baseline with: go run ./cmd/gpsbench -rpqbench
 // -rpqbench-out BENCH_baseline.json
@@ -99,11 +95,7 @@ func runBenchCompare(baselinePath, currentPath string, threshold float64) error 
 		if len(ratios)%2 == 0 {
 			median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
 		}
-		fmt.Printf("median ns/op ratio: %.3f (fail above %.3f)\n", median, 1+threshold)
-		if median > 1+threshold {
-			failures = append(failures, fmt.Sprintf("median ns/op ratio %.3f exceeds %.3f",
-				median, 1+threshold))
-		}
+		fmt.Printf("median ns/op ratio: %.3f (informational; wall-clock is gated by -rpqgate/-indexgate)\n", median)
 	}
 	printTrend(currentPath, "median ns/op", "ns", true, medianNsFromSummary)
 	if len(failures) > 0 {
@@ -113,5 +105,41 @@ func runBenchCompare(baselinePath, currentPath string, threshold float64) error 
 		return fmt.Errorf("benchcmp: %d regression(s) against %s", len(failures), baselinePath)
 	}
 	fmt.Println("benchcmp: no regression")
+	return nil
+}
+
+// rpqGateSummary is the slice of the -rpqbench payload -rpqgate reads.
+type rpqGateSummary struct {
+	CachedSpeedup  float64 `json:"cached_speedup"`
+	ShardedSpeedup float64 `json:"sharded_speedup"`
+}
+
+// runRPQGate checks the same-machine ratios of one -rpqbench run: the
+// engine cache must pay off by at least cachedMin on repeat queries, and
+// sharded evaluation of the large graph must not fall below shardedMin of
+// sequential (a floor below 1 tolerates scheduling noise while still
+// catching a sharding pessimisation).
+func runRPQGate(path string, cachedMin, shardedMin float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("rpqgate: %w", err)
+	}
+	var s rpqGateSummary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("rpqgate: %s: %w", path, err)
+	}
+	if s.CachedSpeedup == 0 || s.ShardedSpeedup == 0 {
+		return fmt.Errorf("rpqgate: %s: missing speedup ratios (regenerate with -rpqbench)", path)
+	}
+	fmt.Printf("rpqgate: cached speedup %.2fx (floor %.2fx), sharded speedup %.2fx (floor %.2fx)\n",
+		s.CachedSpeedup, cachedMin, s.ShardedSpeedup, shardedMin)
+	printTrend(path, "cached speedup", "x", false, floatFieldFromSummary("cached_speedup"))
+	if s.CachedSpeedup < cachedMin {
+		return fmt.Errorf("rpqgate: cached speedup %.2fx below floor %.2fx", s.CachedSpeedup, cachedMin)
+	}
+	if s.ShardedSpeedup < shardedMin {
+		return fmt.Errorf("rpqgate: sharded speedup %.2fx below floor %.2fx", s.ShardedSpeedup, shardedMin)
+	}
+	fmt.Println("rpqgate: ok")
 	return nil
 }

@@ -12,7 +12,10 @@
 //	gpsbench -csv         # also emit each table as CSV
 //	gpsbench -list        # list experiment identifiers
 //	gpsbench -rpqbench    # RPQ micro-benchmarks -> BENCH_rpq.json
-//	gpsbench -benchcmp BENCH_rpq.json   # regression gate vs BENCH_baseline.json
+//	gpsbench -rpqgate BENCH_rpq.json    # same-machine cached/sharded ratio gate
+//	gpsbench -indexbench  # indexed vs unindexed /evaluate -> BENCH_index.json
+//	gpsbench -indexgate BENCH_index.json  # indexed speedup ratio gate
+//	gpsbench -benchcmp BENCH_rpq.json   # allocs/op gate vs BENCH_baseline.json
 //	gpsbench -learnbench  # learner benchmarks -> BENCH_learn.json
 //	gpsbench -learngate BENCH_learn.json  # dense-vs-reference speedup gate
 //	gpsbench -loadbench -load-gpsd ./gpsd  # multi-tenant fairness load -> BENCH_load.json
@@ -70,13 +73,20 @@ func main() {
 		loadGate   = flag.String("loadgate", "", "check this -loadbench summary and fail if the polite admission-error rate or p99 ratio breaches the fairness gate")
 		loadRate   = flag.Float64("loadgate-max-error-rate", 0.01, "maximum polite-tenant admission-error rate for -loadgate")
 		loadRatio  = flag.Float64("loadgate-max-p99-ratio", 2, "maximum contended/baseline p99 ratio for -loadgate")
-		benchCmp   = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on regression")
+		benchCmp   = flag.String("benchcmp", "", "compare this -rpqbench summary against -benchcmp-base and fail on an allocs/op regression (ns/op is informational)")
 		benchBase  = flag.String("benchcmp-base", "BENCH_baseline.json", "baseline summary for -benchcmp")
 		benchTol   = flag.Float64("benchcmp-threshold", 0.25, "allowed regression for -benchcmp (0.25 = 25%)")
+		rpqGate    = flag.String("rpqgate", "", "check this -rpqbench summary's same-machine ratios and fail if the cached or sharded speedup is below its floor")
+		rpqCMin    = flag.Float64("rpqgate-cached-min", 5, "minimum cached/uncached evaluation speedup for -rpqgate")
+		rpqSMin    = flag.Float64("rpqgate-sharded-min", 0.75, "minimum sharded/sequential large-graph speedup for -rpqgate")
+		indexBench = flag.Bool("indexbench", false, "measure /evaluate with and without the precomputed reachability index on the large transport graph and write a JSON summary")
+		indexOut   = flag.String("indexbench-out", "BENCH_index.json", "output path of the -indexbench JSON summary")
+		indexGate  = flag.String("indexgate", "", "check this -indexbench summary and fail if the indexed-vs-unindexed median speedup is below -indexgate-min")
+		indexMin   = flag.Float64("indexgate-min", 5, "minimum indexed/unindexed median evaluation speedup for -indexgate")
 	)
 	flag.Parse()
 
-	if *benchCmp != "" || *storeGate != "" || *learnGate != "" || *loadGate != "" {
+	if *benchCmp != "" || *storeGate != "" || *learnGate != "" || *loadGate != "" || *rpqGate != "" || *indexGate != "" {
 		if *benchCmp != "" {
 			if err := runBenchCompare(*benchBase, *benchCmp, *benchTol); err != nil {
 				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
@@ -97,6 +107,18 @@ func main() {
 		}
 		if *loadGate != "" {
 			if err := runLoadGate(*loadGate, *loadRate, *loadRatio); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *rpqGate != "" {
+			if err := runRPQGate(*rpqGate, *rpqCMin, *rpqSMin); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *indexGate != "" {
+			if err := runIndexGate(*indexGate, *indexMin); err != nil {
 				fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
 				os.Exit(1)
 			}
@@ -163,6 +185,14 @@ func main() {
 
 	if *storeBench {
 		if err := runStoreBench(*storeOut, *seed, *storeIvl); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *indexBench {
+		if err := runIndexBench(*indexOut, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "gpsbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -116,19 +116,32 @@ func runRPQBench(outPath string, seed int64) error {
 			bm.name, r.N, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
 	}
 
-	payload := struct {
-		Graph      string           `json:"graph"`
-		LargeGraph string           `json:"large_graph"`
-		Query      string           `json:"query"`
-		Workers    int              `json:"workers"`
-		Results    []rpqBenchResult `json:"results"`
-	}{
-		Graph:      fmt.Sprintf("transport-10x10 (%d nodes, %d edges)", g.NumNodes(), g.NumEdges()),
-		LargeGraph: fmt.Sprintf("transport-60x60 (%d nodes, %d edges)", largeG.NumNodes(), largeG.NumEdges()),
-		Query:      q.String(),
-		Workers:    workers,
-		Results:    results,
+	// Same-machine ratios for -rpqgate: both sides of each ratio were
+	// measured seconds apart in this process, so they gate performance
+	// structure (cache effectiveness, sharding overhead) without the
+	// machine-sensitivity of an absolute ns/op baseline.
+	ns := make(map[string]float64, len(results))
+	for _, r := range results {
+		ns[r.Name] = r.NsPerOp
 	}
+	payload := struct {
+		Graph          string           `json:"graph"`
+		LargeGraph     string           `json:"large_graph"`
+		Query          string           `json:"query"`
+		Workers        int              `json:"workers"`
+		CachedSpeedup  float64          `json:"cached_speedup"`
+		ShardedSpeedup float64          `json:"sharded_speedup"`
+		Results        []rpqBenchResult `json:"results"`
+	}{
+		Graph:          fmt.Sprintf("transport-10x10 (%d nodes, %d edges)", g.NumNodes(), g.NumEdges()),
+		LargeGraph:     fmt.Sprintf("transport-60x60 (%d nodes, %d edges)", largeG.NumNodes(), largeG.NumEdges()),
+		Query:          q.String(),
+		Workers:        workers,
+		CachedSpeedup:  ns["RPQEvaluation"] / ns["RPQEvaluationCached"],
+		ShardedSpeedup: ns["RPQEvaluationLargeSequential"] / ns["RPQEvaluationLargeSharded"],
+		Results:        results,
+	}
+	fmt.Printf("cached speedup %.1fx, sharded speedup %.2fx\n", payload.CachedSpeedup, payload.ShardedSpeedup)
 	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		return fmt.Errorf("rpqbench: %w", err)

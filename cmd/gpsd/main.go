@@ -95,6 +95,7 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		shards      = flag.Int("shards", 0, "evaluation worker-pool size (0 = one per CPU, 1 = sequential)")
 		cacheCap    = flag.Int("cache-cap", 0, "per-graph engine-cache capacity (0 = default)")
+		useIndex    = flag.Bool("index", true, "build per-graph reachability indexes in the background for faster /evaluate (per-graph opt-out: no_index in the load spec)")
 		maxSess     = flag.Int("max-sessions", 0, "live session limit (0 = default)")
 		preload     = flag.String("preload", "", "comma-separated name=dataset graphs to register at boot (figure1, transport[:RxC], random[:N], scale-free[:N])")
 		dataDir     = flag.String("data-dir", "", "durable data directory for graph snapshots and session journals (empty = in-memory only)")
@@ -176,6 +177,7 @@ func main() {
 	srv := service.NewServer(service.Options{
 		EvalWorkers:    *shards,
 		CacheCapacity:  *cacheCap,
+		DisableIndex:   !*useIndex,
 		MaxSessions:    *maxSess,
 		Keyring:        keyring,
 		AdmitWait:      *admitWait,

@@ -88,6 +88,11 @@ func (g *Graph) Indexed() *Indexed {
 // view, compiled query engines — use it to detect staleness.
 func (g *Graph) Version() uint64 { return g.version }
 
+// Version returns the graph structural version this view was built at.
+// Derived structures (the rpq index, compiled engines) carry it so that
+// staleness against a mutated graph is detectable.
+func (ix *Indexed) Version() uint64 { return ix.version }
+
 // NumNodes returns the number of interned nodes.
 func (ix *Indexed) NumNodes() int { return len(ix.nodes) }
 

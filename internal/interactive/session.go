@@ -360,14 +360,17 @@ func (s *Session) validatePath(node graph.NodeID, radius int) []string {
 
 // propagatePositive labels every unlabelled node that has a path spelling
 // the validated word as an implied positive (with that same word as its
-// witness) and returns how many nodes were implied.
+// witness) and returns how many nodes were implied. The membership test is
+// one backward StartsOfWord sweep shared by all nodes rather than a
+// per-node HasWord walk.
 func (s *Session) propagatePositive(word []string) int {
 	count := 0
+	starts := paths.StartsOfWord(s.g, word)
 	for _, id := range s.g.Nodes() {
 		if s.sample.Labeled(id) || s.pruned[id] {
 			continue
 		}
-		if paths.HasWord(s.g, id, word) {
+		if starts.Has(id) {
 			s.sample.AddPositive(id, append([]string(nil), word...))
 			count++
 		}

@@ -150,6 +150,71 @@ func HasWord(g *graph.Graph, start graph.NodeID, word []string) bool {
 	return true
 }
 
+// StartSet is the set of nodes that have a path spelling a fixed word,
+// produced by StartsOfWord.
+type StartSet struct {
+	ix *graph.Indexed
+	// bits is nil for the empty word, which every existing node spells.
+	bits nodeSet
+}
+
+// Has reports whether the node belongs to the set. Nodes absent from the
+// graph are never members.
+func (s StartSet) Has(node graph.NodeID) bool {
+	i, ok := s.ix.IndexOf(node)
+	if !ok {
+		return false
+	}
+	if s.bits == nil {
+		return true
+	}
+	return s.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// StartsOfWord computes the set of nodes that have a path spelling exactly
+// the word — the same predicate as HasWord, answered for every node at
+// once. It sweeps the word backwards: level i is the bitset of nodes that
+// can spell the suffix word[i:], obtained by taking the word[i]-
+// predecessors of level i+1. One sweep costs O(len(word) · edges) total,
+// where probing HasWord node by node pays that much per node.
+func StartsOfWord(g *graph.Graph, word []string) StartSet {
+	ix := g.Indexed()
+	s := StartSet{ix: ix}
+	if len(word) == 0 {
+		return s
+	}
+	n := ix.NumNodes()
+	var current nodeSet
+	for i := len(word) - 1; i >= 0; i-- {
+		li, ok := ix.LabelIndexOf(graph.Label(word[i]))
+		if !ok {
+			// The label never occurs in the graph: no node spells the word.
+			return StartSet{ix: ix, bits: newNodeSet(n)}
+		}
+		next := newNodeSet(n)
+		if current == nil {
+			// Innermost level: any node with an outgoing word[i] edge spells
+			// the one-label suffix.
+			for v := int32(0); v < int32(n); v++ {
+				if len(ix.Out(v, li)) > 0 {
+					next.add(v)
+				}
+			}
+		} else {
+			current.forEach(func(node int32) {
+				for _, p := range ix.In(node, li) {
+					next.add(p)
+				}
+			})
+		}
+		if next.empty() {
+			return StartSet{ix: ix, bits: next}
+		}
+		current = next
+	}
+	return StartSet{ix: ix, bits: current}
+}
+
 // Covered reports whether the word is covered by at least one of the
 // negative nodes, i.e. some negative node also has a path spelling it.
 func Covered(g *graph.Graph, word []string, negatives []graph.NodeID) bool {

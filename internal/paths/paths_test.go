@@ -403,3 +403,30 @@ func TestPropertySmallestUncoveredIsUncoveredAndMinimal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStartsOfWordMatchesHasWord pins the one-sweep StartsOfWord set to a
+// per-node HasWord probe on randomized graphs and words, including words
+// with labels absent from the graph and the empty word.
+func TestStartsOfWordMatchesHasWord(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 8, 16)
+		labels := []string{"a", "b", "c", "z"} // z never occurs in the graph
+		word := make([]string, r.Intn(5))
+		for i := range word {
+			word[i] = labels[r.Intn(len(labels))]
+		}
+		starts := StartsOfWord(g, word)
+		for _, id := range g.Nodes() {
+			if starts.Has(id) != HasWord(g, id, word) {
+				t.Logf("word %v node %s: StartsOfWord=%v HasWord=%v",
+					word, id, starts.Has(id), HasWord(g, id, word))
+				return false
+			}
+		}
+		return !starts.Has("missing")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

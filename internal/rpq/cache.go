@@ -8,6 +8,7 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/graph"
 	"repro/internal/regex"
+	"repro/internal/rpq/index"
 )
 
 // Query compilation and evaluation caches. The interactive learner calls
@@ -70,6 +71,7 @@ type EngineCache struct {
 	g       *graph.Graph
 	cap     int
 	workers int
+	index   func() *index.Index
 
 	mu      sync.Mutex
 	version uint64
@@ -114,6 +116,13 @@ type CacheOptions struct {
 	// Workers is passed to NewWith for engines built through the cache;
 	// 0 or 1 builds sequentially.
 	Workers int
+	// Index, when non-nil, is consulted on every engine build for the
+	// graph's precomputed reachability index. It returns nil while the
+	// index is still building (or disabled); a stale index — one built on
+	// a different Indexed view than the graph's current one — is ignored
+	// by the engine, so providers only need to be version-aware, not
+	// synchronized with the cache's own flushes.
+	Index func() *index.Index
 }
 
 // NewCache returns an empty engine cache for the graph with default
@@ -132,6 +141,7 @@ func NewCacheWith(g *graph.Graph, opts CacheOptions) *EngineCache {
 		g:        g,
 		cap:      opts.Capacity,
 		workers:  opts.Workers,
+		index:    opts.Index,
 		version:  g.Version(),
 		entries:  make(map[string]*list.Element),
 		lru:      list.New(),
@@ -181,9 +191,16 @@ func (c *EngineCache) Get(query *regex.Expr) *Engine {
 	builtAt := c.version
 	workers := c.workers
 	c.mu.Unlock()
+	var idx *index.Index
+	if c.index != nil {
+		idx = c.index()
+	}
 	var e *Engine
-	if workers > 1 {
-		e = NewWith(c.g, query, Options{Workers: workers})
+	if workers > 1 || idx != nil {
+		if workers == 0 {
+			workers = 1
+		}
+		e = NewWith(c.g, query, Options{Workers: workers, Index: idx})
 	} else {
 		e = New(c.g, query)
 	}

@@ -18,10 +18,12 @@ package rpq
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/automaton"
 	"repro/internal/graph"
 	"repro/internal/regex"
+	"repro/internal/rpq/index"
 )
 
 // Engine evaluates one compiled query against one graph. It precomputes
@@ -42,10 +44,26 @@ type Engine struct {
 	dfaLabel  []int
 	accepting []bool
 	// accReach is a bitset over configurations node*numStates+state: the
-	// bit is set iff an accepting configuration is reachable.
+	// bit is set iff an accepting configuration is reachable. The eager
+	// sweeps fill it during construction; the indexed sweep leaves it nil
+	// and parks a fill closure in accFill instead, materialised through
+	// accOnce on the first configuration probe — Selected is served off
+	// the per-state rows, so an /evaluate-only engine never pays the
+	// product-layout scatter.
 	accReach []uint64
+	accOnce  sync.Once
+	accPtr   atomic.Pointer[[]uint64]
+	accFill  func() []uint64
 	// selectedIDs caches the sorted answer set.
 	selectedIDs []graph.NodeID
+	// idx is the optional precomputed reachability index the engine was
+	// built with (see indexed.go); nil engines behave identically, the
+	// index only changes how fast the fixpoint and the forward searches
+	// run.
+	idx *index.Index
+	// viab is the per-(out-label-mask, state) acceptance-viability table
+	// derived from idx; nil disables the forward-search prune.
+	viab []bool
 	// scratch pools per-call BFS state (parent pointers, queue) so that
 	// repeated Witness calls do not reallocate product-sized arrays.
 	scratch sync.Pool
@@ -107,7 +125,22 @@ func (e *Engine) cfg(node int32, state automaton.State) int {
 }
 
 func (e *Engine) reach(c int) bool {
-	return e.accReach[c>>6]&(1<<(uint(c)&63)) != 0
+	acc := e.accBits()
+	return acc[c>>6]&(1<<(uint(c)&63)) != 0
+}
+
+// accBits returns the packed configuration bitset, materialising it on
+// first use when the engine was built by the indexed sweep.
+func (e *Engine) accBits() []uint64 {
+	if e.accReach != nil {
+		return e.accReach
+	}
+	e.accOnce.Do(func() {
+		acc := e.accFill()
+		e.accFill = nil // frees the captured sweep scratch
+		e.accPtr.Store(&acc)
+	})
+	return *e.accPtr.Load()
 }
 
 // New compiles the query against the graph's alphabet and precomputes the
@@ -363,6 +396,12 @@ func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
 	if e.accepting[e.start] {
 		return true
 	}
+	if !e.viable(ni, e.start) {
+		// The labels reachable from the node cannot spell any accepted
+		// word, bounded or not.
+		e.idx.AddPrunes(1)
+		return false
+	}
 	S := e.numStates
 	es := e.getEval()
 	seen := es.seen
@@ -373,6 +412,7 @@ func (e *Engine) SelectsWithin(node graph.NodeID, maxLen int) bool {
 	next := es.next[:0]
 	numLabels := e.ix.NumLabels()
 	found := false
+	var pruned uint64
 search:
 	for depth := 0; depth < maxLen && len(frontier) > 0; depth++ {
 		next = next[:0]
@@ -395,12 +435,21 @@ search:
 					if seen[nc>>6]&(1<<(uint(nc)&63)) == 0 {
 						seen[nc>>6] |= 1 << (uint(nc) & 63)
 						touched = append(touched, int32(nc))
+						if !e.viable(v, ns) {
+							// Sound to drop: no path from v supplies the
+							// labels an accepting run from ns still needs.
+							pruned++
+							continue
+						}
 						next = append(next, int32(nc))
 					}
 				}
 			}
 		}
 		frontier, next = next, frontier
+	}
+	if pruned > 0 {
+		e.idx.AddPrunes(pruned)
 	}
 	// Restore the all-zero invariant before pooling: every set bit was
 	// recorded in touched.

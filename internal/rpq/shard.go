@@ -8,6 +8,7 @@ import (
 	"repro/internal/automaton"
 	"repro/internal/graph"
 	"repro/internal/regex"
+	"repro/internal/rpq/index"
 )
 
 // Sharded product-reachability. The backward sweep of computeReachability
@@ -26,6 +27,12 @@ type Options struct {
 	// may use. 0 means DefaultWorkers(); 1 means fully sequential. Sharding
 	// never changes results, only wall-clock time on large graphs.
 	Workers int
+	// Index, when non-nil and built on the graph's current Indexed view,
+	// switches the sweep to the index-assisted state-wise bitset fixpoint
+	// (see indexed.go) and arms the label-viability prune of the forward
+	// searches. A stale or foreign index is ignored. Results are always
+	// byte-identical to an index-less engine.
+	Index *index.Index
 }
 
 // DefaultWorkers is the worker count used when Options.Workers is zero:
@@ -48,6 +55,12 @@ const (
 // indistinguishable from a sequentially built one.
 func NewWith(g *graph.Graph, query *regex.Expr, opts Options) *Engine {
 	e := newEngine(g, query)
+	if e.usableIndex(opts.Index) {
+		e.idx = opts.Index
+		e.buildViability()
+		e.computeReachabilityIndexed()
+		return e
+	}
 	workers := opts.Workers
 	if workers == 0 {
 		workers = DefaultWorkers()

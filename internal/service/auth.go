@@ -198,27 +198,35 @@ func tenantOrDefault(name string) string {
 // key-churning deployment cannot blow up scrape cardinality.
 const maxTenantLabels = 64
 
-// tenantLabelOverflow is the label value tenants beyond the cap share.
+// maxGraphLabels likewise caps the distinct graph label values of the
+// per-graph families (gpsd_cache_*, gpsd_index_*).
+const maxGraphLabels = 64
+
+// tenantLabelOverflow is the label value names beyond a guard's cap share.
 const tenantLabelOverflow = "_other"
 
-// labelGuard admits the first maxTenantLabels distinct tenant names as
-// label values and folds the rest into tenantLabelOverflow.
+// labelGuard admits the first cap distinct names as label values of one
+// metric dimension (tenant, graph) and folds the rest into
+// tenantLabelOverflow.
 type labelGuard struct {
 	mu   sync.Mutex
+	cap  int
 	seen map[string]bool
 }
 
-func newLabelGuard() *labelGuard { return &labelGuard{seen: make(map[string]bool)} }
+func newLabelGuard(cap int) *labelGuard {
+	return &labelGuard{cap: cap, seen: make(map[string]bool)}
+}
 
-func (g *labelGuard) label(tenant string) string {
+func (g *labelGuard) label(name string) string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.seen[tenant] {
-		return tenant
+	if g.seen[name] {
+		return name
 	}
-	if len(g.seen) >= maxTenantLabels {
+	if len(g.seen) >= g.cap {
 		return tenantLabelOverflow
 	}
-	g.seen[tenant] = true
-	return tenant
+	g.seen[name] = true
+	return name
 }

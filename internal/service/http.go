@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/rpq"
+	"repro/internal/rpq/index"
 	"repro/internal/store"
 )
 
@@ -52,8 +53,10 @@ type Server struct {
 	// metrics records per-endpoint request latency (see metrics.go).
 	metrics *httpMetrics
 	// tenantLabels caps the tenant label cardinality of the per-tenant
-	// request metrics.
+	// request metrics; graphLabels does the same for the per-graph cache
+	// and index families.
 	tenantLabels *labelGuard
+	graphLabels  *labelGuard
 	// reqSeq numbers requests arriving without an X-Request-ID header.
 	reqSeq atomic.Int64
 }
@@ -71,7 +74,8 @@ func NewServer(opts Options) *Server {
 		start:        time.Now(),
 		shutdown:     make(chan struct{}),
 		metrics:      newHTTPMetrics(opts.Metrics),
-		tenantLabels: newLabelGuard(),
+		tenantLabels: newLabelGuard(maxTenantLabels),
+		graphLabels:  newLabelGuard(maxGraphLabels),
 	}
 	s.registerObs()
 	return s
@@ -88,22 +92,42 @@ func (s *Server) registerObs() {
 		func() float64 { return float64(len(s.registry.List())) })
 	s.manager.registerBackpressure(reg)
 	s.manager.registerTenantObs(reg)
-	reg.SampleFunc("gpsd_cache_hits_total", "Engine cache hits, by graph.", obs.KindCounter,
-		func() []obs.Sample {
-			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Hits) })
+	graphFamily := func(name, help, kind string, get func(GraphInfo) float64) {
+		reg.SampleFunc(name, help, kind, func() []obs.Sample {
+			return s.registry.graphSamples(s.graphLabels, get)
 		})
-	reg.SampleFunc("gpsd_cache_misses_total", "Engine cache misses, by graph.", obs.KindCounter,
-		func() []obs.Sample {
-			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Misses) })
+	}
+	graphFamily("gpsd_cache_hits_total", "Engine cache hits, by graph.", obs.KindCounter,
+		func(gi GraphInfo) float64 { return float64(gi.Cache.Hits) })
+	graphFamily("gpsd_cache_misses_total", "Engine cache misses, by graph.", obs.KindCounter,
+		func(gi GraphInfo) float64 { return float64(gi.Cache.Misses) })
+	graphFamily("gpsd_cache_evictions_total", "Engine cache LRU evictions, by graph.", obs.KindCounter,
+		func(gi GraphInfo) float64 { return float64(gi.Cache.Evictions) })
+	graphFamily("gpsd_cache_entries", "Compiled queries resident in the engine cache, by graph.", obs.KindGauge,
+		func(gi GraphInfo) float64 { return float64(gi.Cache.Size) })
+	indexStat := func(get func(index.Stats) float64) func(GraphInfo) float64 {
+		return func(gi GraphInfo) float64 {
+			if gi.Index.Stats == nil {
+				return 0
+			}
+			return get(*gi.Index.Stats)
+		}
+	}
+	graphFamily("gpsd_index_ready", "Whether the reachability index is built (1) or still building/disabled (0), by graph.", obs.KindGauge,
+		func(gi GraphInfo) float64 {
+			if gi.Index.State == indexStateNames[indexReady] {
+				return 1
+			}
+			return 0
 		})
-	reg.SampleFunc("gpsd_cache_evictions_total", "Engine cache LRU evictions, by graph.", obs.KindCounter,
-		func() []obs.Sample {
-			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Evictions) })
-		})
-	reg.SampleFunc("gpsd_cache_entries", "Compiled queries resident in the engine cache, by graph.", obs.KindGauge,
-		func() []obs.Sample {
-			return s.registry.cacheSamples(func(cs rpq.CacheStats) float64 { return float64(cs.Size) })
-		})
+	graphFamily("gpsd_index_bytes", "Resident bytes of the reachability index, by graph.", obs.KindGauge,
+		indexStat(func(st index.Stats) float64 { return float64(st.Bytes) }))
+	graphFamily("gpsd_index_build_seconds", "Wall-clock build time of the reachability index, by graph.", obs.KindGauge,
+		indexStat(func(st index.Stats) float64 { return float64(st.BuildMs) / 1000 }))
+	graphFamily("gpsd_index_hits_total", "Reachability-index assisted answers (closure jumps and direct label probes), by graph.", obs.KindCounter,
+		indexStat(func(st index.Stats) float64 { return float64(st.Hits) }))
+	graphFamily("gpsd_index_prunes_total", "Frontier configurations pruned by the index viability check, by graph.", obs.KindCounter,
+		indexStat(func(st index.Stats) float64 { return float64(st.Prunes) }))
 	reg.GaugeFunc("gpsd_recovery_graphs", "Graph snapshots restored by the last recovery.",
 		func() float64 { return float64(s.recovery.Graphs) })
 	reg.GaugeFunc("gpsd_recovery_sessions_resumed", "In-flight sessions resumed by the last recovery.",
@@ -215,7 +239,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 		return
 	}
-	h, err := s.registry.RegisterFor(tenantFromRequest(r), r.PathValue("name"), g)
+	h, err := s.registry.RegisterForWith(tenantFromRequest(r), r.PathValue("name"), g, RegisterOptions{NoIndex: spec.NoIndex})
 	if err != nil {
 		if errors.Is(err, ErrQuota) {
 			writeRateLimited(w, CodeQuotaExceeded, err)
@@ -563,6 +587,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"eval_workers":   s.opts.EvalWorkers,
+		"index_enabled":  !s.opts.DisableIndex,
 		"cache_capacity": s.opts.CacheCapacity,
 		"max_sessions":   s.opts.MaxSessions,
 		"graphs":         s.registry.List(),

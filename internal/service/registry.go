@@ -2,14 +2,17 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/rpq"
+	"repro/internal/rpq/index"
 	"repro/internal/store"
 )
 
@@ -28,7 +31,23 @@ type GraphHandle struct {
 	// owner is the tenant that registered the graph; any tenant may read
 	// and evaluate it, but it counts against the owner's MaxGraphs quota.
 	owner string
+	// idx is the graph's precomputed reachability index (see rpq/index),
+	// built in the background after registration; idxState tracks the
+	// build. Evaluations consult Index() and simply run without the index
+	// until the build lands — results are identical either way.
+	idx      atomic.Pointer[index.Index]
+	idxState atomic.Int32
 }
+
+// Index build states of a GraphHandle.
+const (
+	indexDisabled int32 = iota
+	indexBuilding
+	indexReady
+)
+
+// indexStateNames renders idxState for JSON views.
+var indexStateNames = [...]string{"disabled", "building", "ready"}
 
 // Name returns the registry name of the graph.
 func (h *GraphHandle) Name() string { return h.name }
@@ -41,6 +60,54 @@ func (h *GraphHandle) Version() uint64 { return h.version }
 
 // Cache returns the graph's shared engine cache.
 func (h *GraphHandle) Cache() *rpq.EngineCache { return h.cache }
+
+// Index returns the graph's precomputed reachability index, or nil while
+// the background build is still running or indexing is disabled. The
+// engine cache passes this method as its index provider, so evaluations
+// pick the index up the moment it is ready — without flushing anything,
+// since indexed and unindexed engines answer identically.
+func (h *GraphHandle) Index() *index.Index {
+	if h.idxState.Load() != indexReady {
+		return nil
+	}
+	return h.idx.Load()
+}
+
+// IndexInfo reports the state of a graph's reachability index for JSON
+// views (/v1/graphs, /v1/stats).
+type IndexInfo struct {
+	State string       `json:"state"`
+	Stats *index.Stats `json:"stats,omitempty"`
+}
+
+// indexInfo snapshots the handle's index state.
+func (h *GraphHandle) indexInfo() IndexInfo {
+	info := IndexInfo{State: indexStateNames[h.idxState.Load()]}
+	if idx := h.Index(); idx != nil {
+		st := idx.Stats()
+		info.Stats = &st
+	}
+	return info
+}
+
+// buildIndex runs the background index construction over an Indexed view
+// captured synchronously at install time — the goroutine never touches
+// the Graph itself, so a caller mutating the graph after registration
+// (which Check() reports on the evaluation paths anyway) cannot race the
+// build. Indexes are memory-only and never persisted: after a crash
+// recovery this runs again rather than trusting stale bytes.
+func (h *GraphHandle) buildIndex(ix *graph.Indexed, logger *slog.Logger) {
+	idx := index.Build(ix, index.Options{})
+	h.idx.Store(idx)
+	h.idxState.Store(indexReady)
+	st := idx.Stats()
+	logger.Info("graph index ready",
+		"graph", h.name,
+		"bytes", st.Bytes,
+		"build_ms", st.BuildMs,
+		"closed_labels", st.ClosedLabels,
+		"landmarks", st.Landmarks)
+}
 
 // Check verifies the snapshot invariant: the graph has not been mutated
 // since registration.
@@ -75,6 +142,7 @@ type GraphInfo struct {
 	Labels  int            `json:"labels"`
 	Version uint64         `json:"version"`
 	Cache   rpq.CacheStats `json:"cache"`
+	Index   IndexInfo      `json:"index"`
 }
 
 func (h *GraphHandle) info() GraphInfo {
@@ -86,6 +154,7 @@ func (h *GraphHandle) info() GraphInfo {
 		Labels:  len(h.g.Alphabet()),
 		Version: h.version,
 		Cache:   h.cache.Stats(),
+		Index:   h.indexInfo(),
 	}
 }
 
@@ -120,6 +189,18 @@ func (r *Registry) Register(name string, g *graph.Graph) (*GraphHandle, error) {
 // persisted before the graph becomes visible, so a name the client saw
 // registered is always recoverable.
 func (r *Registry) RegisterFor(tn TenantInfo, name string, g *graph.Graph) (*GraphHandle, error) {
+	return r.RegisterForWith(tn, name, g, RegisterOptions{})
+}
+
+// RegisterOptions carries per-registration knobs.
+type RegisterOptions struct {
+	// NoIndex opts this graph out of the background reachability-index
+	// build (useful for short-lived graphs not worth the build cost).
+	NoIndex bool
+}
+
+// RegisterForWith is RegisterFor with per-registration options.
+func (r *Registry) RegisterForWith(tn TenantInfo, name string, g *graph.Graph, ro RegisterOptions) (*GraphHandle, error) {
 	if name == "" {
 		return nil, fmt.Errorf("service: empty graph name")
 	}
@@ -148,7 +229,7 @@ func (r *Registry) RegisterFor(tn TenantInfo, name string, g *graph.Graph) (*Gra
 			return nil, fmt.Errorf("service: %w: %w", ErrStore, err)
 		}
 	}
-	h := r.install(name, g, tn.Name)
+	h := r.install(name, g, tn.Name, ro.NoIndex)
 	if err := r.saveOwnersLocked(); err != nil {
 		return nil, err
 	}
@@ -156,21 +237,31 @@ func (r *Registry) RegisterFor(tn TenantInfo, name string, g *graph.Graph) (*Gra
 }
 
 // restore installs a graph recovered from the store without re-persisting
-// its (already durable) snapshot or the ownership sidecar.
+// its (already durable) snapshot or the ownership sidecar. The
+// reachability index is rebuilt from scratch like any fresh registration:
+// indexes are derived, memory-only state and are never trusted across a
+// crash.
 func (r *Registry) restore(name string, g *graph.Graph, owner string) *GraphHandle {
-	return r.install(name, g, owner)
+	return r.install(name, g, owner, false)
 }
 
-func (r *Registry) install(name string, g *graph.Graph, owner string) *GraphHandle {
+func (r *Registry) install(name string, g *graph.Graph, owner string, noIndex bool) *GraphHandle {
 	h := &GraphHandle{
 		name:    name,
 		g:       g,
 		version: g.Version(),
-		cache: rpq.NewCacheWith(g, rpq.CacheOptions{
-			Capacity: r.opts.CacheCapacity,
-			Workers:  r.opts.EvalWorkers,
-		}),
-		owner: owner,
+		owner:   owner,
+	}
+	h.cache = rpq.NewCacheWith(g, rpq.CacheOptions{
+		Capacity: r.opts.CacheCapacity,
+		Workers:  r.opts.EvalWorkers,
+		Index:    h.Index,
+	})
+	if !r.opts.DisableIndex && !noIndex {
+		h.idxState.Store(indexBuilding)
+		// Capture the immutable view now, while registration still owns
+		// the graph; the background build must not read the Graph.
+		go h.buildIndex(g.Indexed(), r.opts.Logger)
 	}
 	r.mu.Lock()
 	r.graphs[name] = h
@@ -223,16 +314,32 @@ func (r *Registry) Remove(name string) bool {
 	return ok
 }
 
-// cacheSamples renders one labelled sample per registered graph from its
-// cache stats — the scrape-time callback behind the gpsd_cache_*
-// families.
-func (r *Registry) cacheSamples(get func(rpq.CacheStats) float64) []obs.Sample {
+// graphSamples renders one labelled sample per registered graph — the
+// scrape-time callback behind the per-graph gpsd_cache_* and gpsd_index_*
+// families. The guard caps graph-label cardinality: graphs beyond the cap
+// collapse into one summed "_other" sample, mirroring the per-tenant
+// guard, so a graph-churning client cannot blow up scrape size.
+func (r *Registry) graphSamples(guard *labelGuard, get func(GraphInfo) float64) []obs.Sample {
 	infos := r.List()
 	out := make([]obs.Sample, 0, len(infos))
+	var overflow float64
+	seenOverflow := false
 	for _, gi := range infos {
+		name := guard.label(gi.Name)
+		if name == tenantLabelOverflow {
+			overflow += get(gi)
+			seenOverflow = true
+			continue
+		}
 		out = append(out, obs.Sample{
-			Labels: []obs.Label{obs.L("graph", gi.Name)},
-			Value:  get(gi.Cache),
+			Labels: []obs.Label{obs.L("graph", name)},
+			Value:  get(gi),
+		})
+	}
+	if seenOverflow {
+		out = append(out, obs.Sample{
+			Labels: []obs.Label{obs.L("graph", tenantLabelOverflow)},
+			Value:  overflow,
 		})
 	}
 	return out
@@ -264,6 +371,9 @@ type LoadSpec struct {
 	Data string `json:"data,omitempty"`
 	// Dataset selects a built-in generator.
 	Dataset DatasetSpec `json:"dataset,omitzero"`
+	// NoIndex opts the graph out of the background reachability-index
+	// build.
+	NoIndex bool `json:"no_index,omitempty"`
 }
 
 // DatasetSpec parameterises the built-in graph generators.

@@ -45,6 +45,11 @@ type Options struct {
 	// CacheCapacity is the per-graph engine-cache capacity (LRU entries).
 	// 0 means rpq.DefaultCacheCapacity.
 	CacheCapacity int
+	// DisableIndex turns off the background per-graph reachability-index
+	// builds (rpq/index). Evaluations then always run the plain sweep;
+	// results are identical, large graphs just answer slower. Individual
+	// graphs can opt out instead via LoadSpec.NoIndex.
+	DisableIndex bool
 	// MaxSessions bounds the number of live (not yet finished) sessions
 	// across all tenants. 0 means 256. Per-tenant caps come from the
 	// Keyring's TenantLimits and bind inside this global pool.
