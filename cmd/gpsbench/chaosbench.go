@@ -69,13 +69,14 @@ var chaosFaultPhases = []string{
 }
 
 type chaosOptions struct {
-	gpsdPath string
-	addr     string
-	kills    int
-	sessions int
-	seed     int64
-	out      string
-	verbose  bool
+	gpsdPath  string
+	addr      string
+	kills     int
+	sessions  int
+	seed      int64
+	out       string
+	telemetry string
+	verbose   bool
 }
 
 // chaosSummary is the JSON written by -chaosbench-out and printed at the
@@ -112,6 +113,13 @@ type chaosSpec struct {
 type chaosSession struct {
 	spec chaosSpec
 	sid  string
+	// relaxed drops the cross-crash monotonicity checks. The failover
+	// harness sets it: replication is asynchronous, so a promotion can
+	// lose the acked tail — labels regress, even a finished session can
+	// re-open — and the deterministic answer policy re-drives the lost
+	// suffix identically, which the final oracle comparison proves. The
+	// single-node chaos run keeps the strict checks.
+	relaxed bool
 
 	mu         sync.Mutex
 	seen       bool
@@ -135,7 +143,7 @@ func (cs *chaosSession) observe(v service.SessionView, rep *chaosReport) {
 	}
 	old, settled := cs.settled, cs.hasSettled
 	cs.settled, cs.hasSettled = v, true
-	if !settled {
+	if !settled || cs.relaxed {
 		return
 	}
 	if old.Status == service.StatusDone {
@@ -235,6 +243,8 @@ type chaosRun struct {
 	specs   []*chaosSession
 	dataDir string
 	logf    *os.File
+	tel     *telemetryRecorder
+	epoch   int
 
 	cmd    *exec.Cmd
 	exitCh chan error
@@ -286,6 +296,10 @@ func runChaosBench(opts chaosOptions) error {
 		dataDir: filepath.Join(dir, "data"),
 		logf:    logf,
 	}
+	if c.tel, err = newTelemetryRecorder(opts.telemetry); err != nil {
+		return err
+	}
+	defer c.tel.Close()
 	fmt.Printf("chaosbench: seed=%d kills=%d sessions=%d data=%s\n", opts.seed, opts.kills, opts.sessions, c.dataDir)
 	faultKills, err := c.run()
 	if err != nil {
@@ -596,6 +610,7 @@ func (c *chaosRun) readStats() {
 	if err != nil {
 		return
 	}
+	c.tel.record(c.epoch, "http://"+c.opts.addr, body)
 	stats, ok := parseStoreMetrics(body)
 	if !ok {
 		c.rep.violatef("/metrics scrape is missing the gpsd_store_* counters")
@@ -650,16 +665,23 @@ func (c *chaosRun) finishEpoch() {
 	c.totals.RetiredSegments += c.cur.RetiredSegments
 	c.totals.Truncated += c.cur.Truncated
 	c.cur = chaosStoreStats{}
+	c.epoch++
 }
 
 func (c *chaosRun) createSessions() error {
-	for _, cs := range c.specs {
+	return createChaosSessions(c.client, c.specs, c.rep)
+}
+
+// createChaosSessions creates every spec's session once, retrying through
+// transient weather, and records the assigned ids.
+func createChaosSessions(cli *client.Client, specs []*chaosSession, rep *chaosReport) error {
+	for _, cs := range specs {
 		var lastErr error
 		for attempt := 0; attempt < 20; attempt++ {
-			v, err := c.client.CreateSession(context.Background(), cs.spec.cfg)
+			v, err := cli.CreateSession(context.Background(), cs.spec.cfg)
 			if err == nil {
 				cs.sid = v.ID
-				cs.observe(v, c.rep)
+				cs.observe(v, rep)
 				lastErr = nil
 				break
 			}
@@ -677,65 +699,98 @@ func (c *chaosRun) createSessions() error {
 // (or the daemon lost a session) and each view must satisfy the
 // cross-crash invariants against the last one the harness saw.
 func (c *chaosRun) sweep() {
-	for _, cs := range c.specs {
+	sweepChaos(c.client, c.specs, c.rep)
+}
+
+// sweepChaos refetches every session right after a recovery or promotion:
+// each must exist or the daemon lost a session.
+func sweepChaos(cli *client.Client, specs []*chaosSession, rep *chaosReport) {
+	for _, cs := range specs {
 		if cs.sid == "" {
 			continue
 		}
 		var v service.SessionView
 		var err error
 		for attempt := 0; attempt < 5; attempt++ {
-			v, err = c.client.Session(context.Background(), cs.sid)
+			v, err = cli.Session(context.Background(), cs.sid)
 			if err == nil || client.CodeOf(err) != "" {
 				break // a typed code is a protocol answer, not transport weather
 			}
 			time.Sleep(50 * time.Millisecond)
 		}
 		if client.IsCode(err, service.CodeSessionNotFound) {
-			c.rep.violatef("session %s (spec %d) vanished after recovery", cs.sid, cs.spec.idx)
+			rep.violatef("session %s (spec %d) vanished after recovery", cs.sid, cs.spec.idx)
 			continue
 		}
 		if err != nil {
 			continue // the controller may already be killing again
 		}
-		cs.observe(v, c.rep)
+		cs.observe(v, rep)
 	}
 }
 
 // drive answers one session's questions until it finishes or the chaos
-// run stops. Transport errors, conflicts (an answer racing a restart's
-// replay) and deadline hits are expected and retried; any other typed API
-// error is a violation.
+// run stops.
 func (c *chaosRun) drive(cs *chaosSession, stop <-chan struct{}) {
+	driveChaos(c.client, cs, c.rep, &c.answers, c.opts.seed, stop)
+}
+
+// driveChaos answers one session's questions until it finishes or the run
+// stops. Transport errors, conflicts (an answer racing a restart's
+// replay), deadline hits and not-primary/fenced rejections (mid-failover
+// weather) are expected and retried; any other typed API error is a
+// violation. Shared between the single-node chaos harness and the
+// failover harness.
+func driveChaos(cli *client.Client, cs *chaosSession, rep *chaosReport, answers *atomic.Int64, seed int64, stop <-chan struct{}) {
 	for {
 		select {
 		case <-stop:
 			return
 		default:
 		}
-		v, err := c.client.Session(context.Background(), cs.sid)
+		v, err := cli.Session(context.Background(), cs.sid)
 		if err != nil {
 			time.Sleep(20 * time.Millisecond)
 			continue
 		}
-		cs.observe(v, c.rep)
+		cs.observe(v, rep)
 		if v.Status == service.StatusDone || v.Status == service.StatusFailed {
-			return
+			if !cs.relaxed {
+				return
+			}
+			// Relaxed (failover) mode: "done" is not final. The terminal
+			// tail was acked by the primary but may not have reached the
+			// follower before the next kill, in which case the promoted
+			// successor re-opens the session at its last replicated
+			// question — with this driver gone, nobody would ever drive it
+			// home again. Keep watching at a gentle cadence and fall back
+			// into the answer loop if the status regresses to running; the
+			// deterministic policy regenerates the exact same tail.
+			select {
+			case <-stop:
+				return
+			case <-time.After(250 * time.Millisecond):
+			}
+			continue
 		}
 		if v.Pending != nil {
-			ans := chaosAnswer(c.opts.seed, cs.spec.idx, v.Pending)
-			_, err := c.client.Answer(context.Background(), cs.sid, ans)
+			ans := chaosAnswer(seed, cs.spec.idx, v.Pending)
+			_, err := cli.Answer(context.Background(), cs.sid, ans)
 			switch code := client.CodeOf(err); {
 			case err == nil:
-				c.answers.Add(1)
+				answers.Add(1)
 			case code == service.CodeConflict || code == service.CodeDeadlineExceeded:
 				// Raced a restart replay or a request deadline; re-poll.
+			case code == service.CodeNotPrimary || code == service.CodeFenced:
+				// Mid-failover: the request landed on a follower or a deposed
+				// primary. The client re-resolves on its own; re-poll.
 			case code == "":
 				// Transport error — indeterminate: the crash may or may not
 				// have persisted the answer. The next poll sees whichever
 				// question is pending and the policy regenerates the same
 				// answer either way.
 			default:
-				c.rep.violatef("session %s: answer for question %d failed: %v", cs.sid, ans.Seq, err)
+				rep.violatef("session %s: answer for question %d failed: %v", cs.sid, ans.Seq, err)
 			}
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -745,15 +800,19 @@ func (c *chaosRun) drive(cs *chaosSession, stop <-chan struct{}) {
 // awaitAllDone polls until every session has finished (the drivers are
 // doing the answering).
 func (c *chaosRun) awaitAllDone(timeout time.Duration) error {
+	return awaitChaosDone(c.specs, timeout)
+}
+
+func awaitChaosDone(specs []*chaosSession, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		done := 0
-		for _, cs := range c.specs {
+		for _, cs := range specs {
 			if v, ok := cs.view(); ok && (v.Status == service.StatusDone || v.Status == service.StatusFailed) {
 				done++
 			}
 		}
-		if done == len(c.specs) {
+		if done == len(specs) {
 			return nil
 		}
 		time.Sleep(100 * time.Millisecond)
@@ -761,10 +820,16 @@ func (c *chaosRun) awaitAllDone(timeout time.Duration) error {
 	return fmt.Errorf("sessions still running after %s", timeout)
 }
 
-// runOracle replays every spec against an in-process server on the text
-// storage engine — same graphs, same deterministic answers, no crashes —
-// and returns the final views in spec order.
 func (c *chaosRun) runOracle() ([]service.SessionView, error) {
+	return runChaosOracle(c.specs, c.opts.seed)
+}
+
+// runChaosOracle replays every spec against an in-process server on the
+// text storage engine — same graphs, same deterministic answers, no
+// crashes — and returns the final views in spec order. Shared between the
+// single-node chaos harness and the failover harness: both must converge
+// to exactly this state.
+func runChaosOracle(specs []*chaosSession, seed int64) ([]service.SessionView, error) {
 	dir, err := os.MkdirTemp("", "gpsd-chaos-oracle-*")
 	if err != nil {
 		return nil, err
@@ -793,10 +858,10 @@ func (c *chaosRun) runOracle() ([]service.SessionView, error) {
 	defer ts.Close()
 	oc := newChaosClient(ts.URL)
 
-	out := make([]service.SessionView, len(c.specs))
+	out := make([]service.SessionView, len(specs))
 	var wg sync.WaitGroup
-	errs := make([]error, len(c.specs))
-	for i, cs := range c.specs {
+	errs := make([]error, len(specs))
+	for i, cs := range specs {
 		v, err := oc.CreateSession(context.Background(), cs.spec.cfg)
 		if err != nil {
 			return nil, fmt.Errorf("oracle create spec %d: %w", i, err)
@@ -804,7 +869,7 @@ func (c *chaosRun) runOracle() ([]service.SessionView, error) {
 		wg.Add(1)
 		go func(i int, sid string, specIdx int) {
 			defer wg.Done()
-			out[i], errs[i] = driveOracle(oc, sid, specIdx, c.opts.seed)
+			out[i], errs[i] = driveOracle(oc, sid, specIdx, seed)
 		}(i, v.ID, cs.spec.idx)
 	}
 	wg.Wait()

@@ -20,6 +20,8 @@
 //	gpsbench -learngate BENCH_learn.json  # dense-vs-reference speedup gate
 //	gpsbench -loadbench -load-gpsd ./gpsd  # multi-tenant fairness load -> BENCH_load.json
 //	gpsbench -loadgate BENCH_load.json     # fairness gate over a load summary
+//	gpsbench -chaosbench -chaos-gpsd ./gpsd  # crash-anywhere chaos vs oracle
+//	gpsbench -failover -chaos-gpsd ./gpsd    # primary/follower failover chaos
 //	gpsbench -smokedrive eval -smoke-base http://127.0.0.1:8080  # typed-client smoke checks
 package main
 
@@ -58,6 +60,12 @@ func main() {
 		chaosAddr  = flag.String("chaos-addr", "127.0.0.1:18090", "listen address for the tortured gpsd")
 		chaosOut   = flag.String("chaosbench-out", "", "optional JSON summary output path for -chaosbench")
 		chaosV     = flag.Bool("chaos-v", false, "log per-kill chaos progress")
+		chaosTel   = flag.String("chaos-telemetry", "", "optional .jsonl path: append every /metrics scrape the chaos or failover harness takes (one JSON line per scrape, CI post-mortem artifact)")
+		foBench    = flag.Bool("failover", false, "run the replication failover harness: a primary/follower gpsd pair, repeated primary SIGKILLs (incl. in-compaction faults), follower promotions with fencing checks, then oracle equivalence")
+		foKills    = flag.Int("failover-kills", 10, "number of primary kills (= promotions) the failover run inflicts")
+		foAddrA    = flag.String("failover-addr-a", "127.0.0.1:18092", "listen address of the first daemon of the failover pair")
+		foAddrB    = flag.String("failover-addr-b", "127.0.0.1:18093", "listen address of the second daemon of the failover pair")
+		foOut      = flag.String("failover-out", "", "optional JSON summary output path for -failover")
 		loadBench  = flag.Bool("loadbench", false, "run the multi-tenant load harness: several tenants against a keyring-armed gpsd subprocess, one offering ~10x, asserting the fair-share invariants")
 		loadGpsd   = flag.String("load-gpsd", "", "path to the gpsd binary to load (required with -loadbench)")
 		loadAddr   = flag.String("load-addr", "127.0.0.1:18091", "listen address for the loaded gpsd")
@@ -160,16 +168,36 @@ func main() {
 
 	if *chaosBench {
 		err := runChaosBench(chaosOptions{
-			gpsdPath: *chaosGpsd,
-			addr:     *chaosAddr,
-			kills:    *chaosKills,
-			sessions: *chaosSess,
-			seed:     *seed,
-			out:      *chaosOut,
-			verbose:  *chaosV,
+			gpsdPath:  *chaosGpsd,
+			addr:      *chaosAddr,
+			kills:     *chaosKills,
+			sessions:  *chaosSess,
+			seed:      *seed,
+			out:       *chaosOut,
+			telemetry: *chaosTel,
+			verbose:   *chaosV,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gpsbench: chaosbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *foBench {
+		err := runFailoverBench(failoverOptions{
+			gpsdPath:  *chaosGpsd,
+			addrA:     *foAddrA,
+			addrB:     *foAddrB,
+			kills:     *foKills,
+			sessions:  *chaosSess,
+			seed:      *seed,
+			out:       *foOut,
+			telemetry: *chaosTel,
+			verbose:   *chaosV,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsbench: failover: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,72 @@
+package main
+
+// Telemetry capture for the chaos and failover harnesses: every /metrics
+// scrape the harness takes anyway is appended as one JSON line to a
+// .jsonl artifact, so a failing CI run ships the full metric history of
+// every daemon epoch alongside the violation list — which counter stopped
+// moving, what the replication lag looked like right before the kill —
+// instead of just the final summary.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// telemetryLine is one scrape. Metrics holds the raw Prometheus
+// exposition body verbatim: the artifact stays greppable and no counter
+// is lost to a parsing allowlist.
+type telemetryLine struct {
+	UnixMs   int64  `json:"unix_ms"`
+	Epoch    int    `json:"epoch"`
+	Endpoint string `json:"endpoint"`
+	Metrics  string `json:"metrics"`
+}
+
+// telemetryRecorder appends scrape lines to a .jsonl file. A nil recorder
+// is valid and records nothing, so call sites never branch on whether
+// telemetry was requested.
+type telemetryRecorder struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func newTelemetryRecorder(path string) (*telemetryRecorder, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	return &telemetryRecorder{f: f}, nil
+}
+
+// record appends one scrape. epoch is the harness's kill/failover epoch
+// counter, endpoint names the daemon the scrape came from.
+func (t *telemetryRecorder) record(epoch int, endpoint, metrics string) {
+	if t == nil {
+		return
+	}
+	line, err := json.Marshal(telemetryLine{
+		UnixMs:   time.Now().UnixMilli(),
+		Epoch:    epoch,
+		Endpoint: endpoint,
+		Metrics:  metrics,
+	})
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.f.Write(append(line, '\n'))
+}
+
+func (t *telemetryRecorder) Close() error {
+	if t == nil {
+		return nil
+	}
+	return t.f.Close()
+}

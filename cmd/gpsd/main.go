@@ -22,6 +22,12 @@
 //	gpsd -admit-wait 5s                   # max fair-share queueing before 429
 //	gpsd -log-format json -log-level debug # structured logs for ingestion
 //	gpsd -pprof-addr localhost:6060       # net/http/pprof on its own listener
+//	gpsd -data-dir d -replicate-from http://primary:8080
+//	                                      # warm follower: stream the primary's
+//	                                      # WAL, promote via /v1/admin/promote
+//	gpsd -replicate-from URL -auto-promote-after 10s
+//	                                      # ... or self-promote once the
+//	                                      # primary is unreachable that long
 //
 // A durable gpsd takes an exclusive LOCK on its data directory, so a
 // second daemon pointed at the same directory fails fast instead of
@@ -40,6 +46,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -110,6 +117,8 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address (own listener, e.g. localhost:6060; empty = disabled)")
+		replFrom    = flag.String("replicate-from", "", "run as a warm replication follower of this primary base URL (requires -data-dir with the binary engine; read-only until promoted)")
+		autoPromote = flag.Duration("auto-promote-after", 0, "follower: promote automatically once the primary has been unreachable this long (0 = promote only via POST /v1/admin/promote)")
 	)
 	flag.Parse()
 
@@ -123,12 +132,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	var eng store.Engine
+	follower := *replFrom != ""
+	if follower {
+		if *dataDir == "" {
+			fatal("-replicate-from requires -data-dir")
+		}
+		if *storeEngine != store.EngineKindBinary {
+			fatal("-replicate-from needs the binary store engine", "store_engine", *storeEngine)
+		}
+		if *compact {
+			fatal("-compact does not apply to a follower; compact after promotion (-compact-interval or POST /v1/admin/compact)")
+		}
+		if *preload != "" {
+			fatal("-preload does not apply to a follower; graphs replicate from the primary")
+		}
+	}
+	var (
+		eng  store.Engine
+		lock *store.Lock
+	)
 	if *dataDir != "" {
 		// The lock outlives everything below: it is the first thing taken
 		// and the last thing released, so two daemons can never interleave
-		// writes into one directory.
-		lock, err := store.AcquireLock(*dataDir)
+		// writes into one directory. A follower locks its directory the
+		// same way — the replica writes there, and promotion reopens it.
+		lock, err = store.AcquireLock(*dataDir)
 		if err != nil {
 			fatal("data directory lock", "data_dir", *dataDir, "error", err)
 		}
@@ -137,6 +165,8 @@ func main() {
 				log.Error("lock release", "data_dir", *dataDir, "error", err)
 			}
 		}()
+	}
+	if *dataDir != "" && !follower {
 		eng, err = store.OpenEngine(*dataDir, store.EngineOptions{
 			Kind:           *storeEngine,
 			CommitInterval: *commitIvl,
@@ -147,6 +177,13 @@ func main() {
 			fatal("open store", "data_dir", *dataDir, "engine", *storeEngine, "error", err)
 		}
 		defer eng.Close()
+		// Record the fencing epoch in the LOCK file for operators; the
+		// text engine has no epochs and skips the note.
+		if rep, ok := eng.(store.Replicator); ok {
+			if err := lock.NoteEpoch(rep.Epoch()); err != nil {
+				log.Warn("lock epoch note", "error", err)
+			}
+		}
 		if *compact {
 			rep, err := eng.Compact()
 			if err != nil {
@@ -174,56 +211,20 @@ func main() {
 		log.Info("api keys loaded", "api_keys", *apiKeys)
 	}
 	metrics := obs.NewRegistry()
-	srv := service.NewServer(service.Options{
-		EvalWorkers:    *shards,
-		CacheCapacity:  *cacheCap,
-		DisableIndex:   !*useIndex,
-		MaxSessions:    *maxSess,
-		Keyring:        keyring,
-		AdmitWait:      *admitWait,
-		Store:          eng,
-		RequestTimeout: *reqTimeout,
-		Metrics:        metrics,
-		Logger:         log,
-	})
-	if eng != nil {
-		rep, err := srv.Recover()
-		if err != nil {
-			fatal("recover", "data_dir", *dataDir, "error", err)
-		}
-		log.Info("recovered",
-			"data_dir", *dataDir, "engine", eng.EngineName(),
-			"graphs", rep.Graphs, "sessions_finished", rep.SessionsFinished, "sessions_resumed", rep.SessionsResumed)
-		for _, skipped := range rep.SessionsSkipped {
-			log.Warn("recovery skipped session", "detail", skipped)
-		}
-	}
-	if *preload != "" {
-		for _, arg := range strings.Split(*preload, ",") {
-			name, spec, err := service.ParsePreload(strings.TrimSpace(arg))
-			if err != nil {
-				fatal("-preload", "error", err)
-			}
-			g, err := service.BuildGraph(spec)
-			if err != nil {
-				fatal("-preload build", "graph", name, "error", err)
-			}
-			h, err := srv.Registry().Register(name, g)
-			if err != nil {
-				fatal("-preload register", "graph", name, "error", err)
-			}
-			log.Info("registered graph", "graph", name, "nodes", h.Graph().NumNodes(), "edges", h.Graph().NumEdges())
-		}
-	}
 
 	// The live-compaction ticker runs beside the serving loop: each pass
 	// seals the active segment and rewrites only sealed ones, so appends
 	// never stall beyond one group-commit batch window. ErrCompacting (an
 	// admin-triggered pass already running) is not noise worth logging.
+	// A follower starts the ticker at promotion time, over the engine the
+	// promotion opened.
 	compactDone := make(chan struct{})
-	if *compactIvl > 0 {
-		if eng == nil {
-			fatal("-compact-interval requires -data-dir")
+	if *compactIvl > 0 && *dataDir == "" {
+		fatal("-compact-interval requires -data-dir")
+	}
+	startCompactTicker := func(eng store.Engine) {
+		if *compactIvl <= 0 {
+			return
 		}
 		ticker := time.NewTicker(*compactIvl)
 		go func() {
@@ -249,6 +250,121 @@ func main() {
 		}()
 	}
 
+	// bootServer is the primary boot sequence: assemble, recover, start
+	// the compaction ticker. It runs at startup for a primary and at
+	// promotion time for a follower — adoption of replicated sessions is
+	// exactly crash recovery.
+	bootServer := func(eng store.Engine) (*service.Server, error) {
+		srv := service.NewServer(service.Options{
+			EvalWorkers:    *shards,
+			CacheCapacity:  *cacheCap,
+			DisableIndex:   !*useIndex,
+			MaxSessions:    *maxSess,
+			Keyring:        keyring,
+			AdmitWait:      *admitWait,
+			Store:          eng,
+			RequestTimeout: *reqTimeout,
+			Metrics:        metrics,
+			Logger:         log,
+		})
+		if eng != nil {
+			rep, err := srv.Recover()
+			if err != nil {
+				return nil, fmt.Errorf("recover: %w", err)
+			}
+			log.Info("recovered",
+				"data_dir", *dataDir, "engine", eng.EngineName(),
+				"graphs", rep.Graphs, "sessions_finished", rep.SessionsFinished, "sessions_resumed", rep.SessionsResumed)
+			for _, skipped := range rep.SessionsSkipped {
+				log.Warn("recovery skipped session", "detail", skipped)
+			}
+			startCompactTicker(eng)
+		}
+		return srv, nil
+	}
+
+	var (
+		handler        http.Handler
+		notifyShutdown func()
+		closePromoted  = func() {}
+	)
+	if follower {
+		var (
+			promotedMu  sync.Mutex
+			promotedEng store.Engine
+		)
+		f, err := service.NewFollower(service.FollowerOptions{
+			Dir:              *dataDir,
+			PrimaryURL:       *replFrom,
+			AutoPromoteAfter: *autoPromote,
+			Keyring:          keyring,
+			Metrics:          metrics,
+			Logger:           log,
+			OpenEngine: func() (store.Engine, error) {
+				return store.OpenEngine(*dataDir, store.EngineOptions{
+					Kind:           store.EngineKindBinary,
+					CommitInterval: *commitIvl,
+					SegmentSize:    *segSize,
+					Fault:          crashFault(log),
+				})
+			},
+			BuildServer: func(eng store.Engine) (*service.Server, error) {
+				if rep, ok := eng.(store.Replicator); ok {
+					if err := lock.NoteEpoch(rep.Epoch()); err != nil {
+						log.Warn("lock epoch note", "error", err)
+					}
+				}
+				srv, err := bootServer(eng)
+				if err != nil {
+					return nil, err
+				}
+				promotedMu.Lock()
+				promotedEng = eng
+				promotedMu.Unlock()
+				return srv, nil
+			},
+		})
+		if err != nil {
+			fatal("follower", "primary", *replFrom, "error", err)
+		}
+		defer f.Close()
+		handler = f
+		notifyShutdown = f.NotifyShutdown
+		closePromoted = func() {
+			promotedMu.Lock()
+			defer promotedMu.Unlock()
+			if promotedEng != nil {
+				if err := promotedEng.Close(); err != nil {
+					log.Error("close promoted engine", "error", err)
+				}
+			}
+		}
+	} else {
+		srv, err := bootServer(eng)
+		if err != nil {
+			fatal("boot", "data_dir", *dataDir, "error", err)
+		}
+		if *preload != "" {
+			for _, arg := range strings.Split(*preload, ",") {
+				name, spec, err := service.ParsePreload(strings.TrimSpace(arg))
+				if err != nil {
+					fatal("-preload", "error", err)
+				}
+				g, err := service.BuildGraph(spec)
+				if err != nil {
+					fatal("-preload build", "graph", name, "error", err)
+				}
+				h, err := srv.Registry().Register(name, g)
+				if err != nil {
+					fatal("-preload register", "graph", name, "error", err)
+				}
+				log.Info("registered graph", "graph", name, "nodes", h.Graph().NumNodes(), "edges", h.Graph().NumEdges())
+			}
+		}
+		handler = srv.Handler()
+		notifyShutdown = srv.NotifyShutdown
+	}
+
 	// The pprof listener is separate from the API listener on purpose:
 	// profiles stay reachable when the API is saturated, and the API
 	// address can be exposed without also exposing /debug/pprof.
@@ -263,16 +379,20 @@ func main() {
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
 	// Drain open SSE streams when Shutdown begins, or they would hold the
 	// graceful shutdown until its deadline.
-	httpSrv.RegisterOnShutdown(srv.NotifyShutdown)
+	httpSrv.RegisterOnShutdown(notifyShutdown)
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Info("listening", "addr", *addr,
+	role := "primary"
+	if follower {
+		role = "follower"
+	}
+	log.Info("listening", "addr", *addr, "role", role,
 		"engine", engineName(eng), "data_dir", *dataDir, "log_format", *logFormat)
 
 	sigCh := make(chan os.Signal, 1)
@@ -305,6 +425,9 @@ func main() {
 				log.Error("graceful shutdown failed; forcing close", "error", err)
 				_ = httpSrv.Close()
 			}
+			// A promoted follower's engine was opened at promotion time, not
+			// boot, so its close is not among the boot-time defers.
+			closePromoted()
 			return
 		}
 	}

@@ -59,6 +59,14 @@ const (
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
 	// CodeStoreFailure (500): the durable layer failed mid-request.
 	CodeStoreFailure ErrorCode = "store_failure"
+	// CodeNotPrimary (503): the daemon is a replication follower and the
+	// request needs the primary. The body names the primary's URL when
+	// known; a failover-aware client re-resolves and retries there.
+	CodeNotPrimary ErrorCode = "not_primary"
+	// CodeFenced (503): this daemon was the primary of an earlier epoch
+	// and has observed a successor; it permanently refuses writes so a
+	// resurrected old primary cannot diverge the replicated history.
+	CodeFenced ErrorCode = "fenced"
 	// CodeInternal (500): everything else.
 	CodeInternal ErrorCode = "internal"
 )

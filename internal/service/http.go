@@ -37,6 +37,9 @@ import (
 //	DELETE /v1/sessions/{id}            cancel and drop a session
 //	GET    /v1/stats                    server-wide statistics
 //	POST   /v1/admin/compact            run one store compaction (durable only)
+//	GET    /v1/replication/status       replication role, epoch and feed state
+//	GET    /v1/replication/feed         binary WAL stream for a warm follower
+//	POST   /v1/admin/promote            confirm the primary role (idempotent)
 //	GET    /healthz                     liveness probe
 type Server struct {
 	opts     Options
@@ -59,6 +62,10 @@ type Server struct {
 	graphLabels  *labelGuard
 	// reqSeq numbers requests arriving without an X-Request-ID header.
 	reqSeq atomic.Int64
+	// fenced latches once this daemon observes a successor primary epoch
+	// (see replication.go); mutating requests answer 503 fenced from then
+	// on.
+	fenced atomic.Bool
 }
 
 // NewServer assembles a service instance. withDefaults resolves
@@ -77,6 +84,7 @@ func NewServer(opts Options) *Server {
 		tenantLabels: newLabelGuard(maxTenantLabels),
 		graphLabels:  newLabelGuard(maxGraphLabels),
 	}
+	s.loadFence()
 	s.registerObs()
 	return s
 }
@@ -137,6 +145,7 @@ func (s *Server) registerObs() {
 	if s.opts.Store != nil {
 		store.RegisterMetrics(reg, s.opts.Store)
 	}
+	s.registerReplObs(reg)
 }
 
 // NotifyShutdown tells the service a graceful shutdown has begun: every
@@ -153,6 +162,11 @@ func (s *Server) Registry() *Registry { return s.registry }
 
 // Manager exposes the session manager.
 func (s *Server) Manager() *Manager { return s.manager }
+
+// RecoveryReport returns what the last Recover restored (the zero value
+// before Recover ran). A promoted follower surfaces it so the failover
+// harness can assert the adopted session counts.
+func (s *Server) RecoveryReport() RecoveryReport { return s.recovery }
 
 // Handler returns the routed HTTP handler. Every route is instrumented
 // with a request-latency histogram keyed by its pattern (see metrics.go).
@@ -178,6 +192,9 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/sessions/{id}/hypothesis", s.handleHypothesis)
 	route("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	route("POST /v1/admin/compact", s.handleAdminCompact)
+	route("GET /v1/replication/status", s.handleReplicationStatus)
+	route("GET /v1/replication/feed", s.handleReplicationFeed)
+	route("POST /v1/admin/promote", s.handlePromote)
 	route("GET /metrics", s.handleMetrics)
 	return mux
 }

@@ -166,10 +166,17 @@ func (r flushRecorder) Flush() {
 }
 
 // authExempt lists the routes served without an API key even when a
-// keyring is configured: liveness probes and metric scrapers are operator
-// infrastructure, not tenants.
+// keyring is configured: liveness probes, metric scrapers, replication
+// followers and failover re-resolution are operator infrastructure, not
+// tenants. The replication routes expose only feed bytes and counters —
+// no tenant data beyond what the follower will hold anyway.
 func authExempt(pattern string) bool {
-	return pattern == "GET /healthz" || pattern == "GET /metrics"
+	switch pattern {
+	case "GET /healthz", "GET /metrics",
+		"GET /v1/replication/status", "GET /v1/replication/feed":
+		return true
+	}
+	return false
 }
 
 // instrument wraps a handler so its requests carry a request id, resolve
@@ -184,7 +191,7 @@ func authExempt(pattern string) bool {
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	hist := s.metrics.register(pattern)
 	endpoint := obs.L("endpoint", pattern)
-	streaming := strings.HasSuffix(pattern, "/events")
+	streaming := strings.HasSuffix(pattern, "/events") || pattern == "GET /v1/replication/feed"
 	exempt := authExempt(pattern)
 	log := s.opts.Logger
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -216,7 +223,7 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 					fmt.Errorf("missing or unknown API key"))
 			}
 		}
-		if authed {
+		if authed && !s.fenceRefused(rw, r) {
 			h(rw, r)
 		}
 		d := time.Since(start)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -73,6 +74,11 @@ const (
 	flagSummary   = 3
 	flagIndex     = 4
 	flagTrailer   = 5
+	// flagEpoch marks a fencing-epoch frame: the first frame of every
+	// segment the writer (or compaction) creates records the primary epoch
+	// the segment was written under. Scans skip it like the footer frames;
+	// replication followers read it to notice a stale primary's output.
+	flagEpoch = 6
 
 	// frameHeaderSize is the fixed [length][crc] prefix.
 	frameHeaderSize = 8
@@ -158,6 +164,19 @@ type binaryEngine struct {
 	// fault is the test/chaos fault-injection hook (EngineOptions.Fault),
 	// called at named points of the compaction protocol.
 	fault func(string) error
+
+	// repl publishes the writer's durable position (and the wal generation
+	// and fencing epoch) to replication feeds; see replicate.go. The writer
+	// goroutine updates it after every fsync, so a feed never streams bytes
+	// that could still be lost in a crash.
+	repl replPub
+
+	// lastCompactFrames records the published frame count at the start of
+	// the last completed live compaction, offset by one (0 = none yet). A
+	// pass that would start at the same count is skipped: it could not
+	// shrink anything, and its generation bump would force every
+	// replication follower into a pointless full resync.
+	lastCompactFrames atomic.Uint64
 }
 
 // openBinary creates (if needed) and opens a data directory with the
@@ -200,6 +219,15 @@ func openBinary(dir string, opts EngineOptions) (*binaryEngine, error) {
 	if len(segs) > 0 {
 		e.nextSeg = segs[len(segs)-1].idx
 	}
+	gen, err := loadOrInitCounterFile(filepath.Join(e.walDir(), walGenFile), 1)
+	if err != nil {
+		return nil, err
+	}
+	epoch, err := loadOrInitCounterFile(filepath.Join(dir, epochFile), 1)
+	if err != nil {
+		return nil, err
+	}
+	e.repl.init(gen, epoch)
 	e.wg.Add(1)
 	go e.writer()
 	return e, nil
@@ -442,6 +470,7 @@ func (e *binaryEngine) commit(batch []*appendReq) error {
 	e.m.groupCommits.Add(1)
 	e.m.journalAppends.Add(int64(len(batch)))
 	e.m.journalBytes.Add(size)
+	e.repl.publish(e.nextSeg, e.segOff, uint64(len(batch)))
 	return nil
 }
 
@@ -472,6 +501,7 @@ func (e *binaryEngine) rotate() error {
 			// tail already carries stops being trusted the moment appends
 			// bury its trailer mid-file.)
 			e.segIndex = nil
+			e.repl.publish(e.nextSeg, e.segOff, 0)
 			return nil
 		}
 	}
@@ -485,10 +515,24 @@ func (e *binaryEngine) rotate() error {
 		f.Close()
 		return fmt.Errorf("store: create segment: %w", err)
 	}
+	// Every fresh segment opens with an epoch frame, so any reader of the
+	// wal (recovery, a replication follower) can tell which primary epoch
+	// produced it. The frame is fsynced before the position is published:
+	// a feed must never stream bytes a crash could take back.
+	frame := encodeFrame(encodeEpochPayload(e.repl.snapshot().Epoch))
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: create segment: %w", err)
+	}
 	e.seg = f
-	e.segOff = 0
+	e.segOff = int64(len(frame))
 	e.segIndex = newSegIndexBuilder()
 	e.m.segmentsCreated.Add(1)
+	e.repl.publish(e.nextSeg, e.segOff, 0)
 	return nil
 }
 
@@ -514,6 +558,7 @@ func (e *binaryEngine) sealCurrent() error {
 		}
 		e.segOff += int64(len(footer))
 		e.m.footersWritten.Add(1)
+		e.repl.publish(e.nextSeg, e.segOff, 0)
 	}
 	err := e.seg.Close()
 	e.seg = nil
@@ -626,9 +671,9 @@ func decodePayload(payload []byte) (decodedFrame, error) {
 		return bad()
 	}
 	df := decodedFrame{flag: payload[0]}
-	if df.flag == flagIndex || df.flag == flagTrailer {
-		// Footer frames carry no session; scans skip them and the footer
-		// readers parse them with their own decoders.
+	if df.flag == flagIndex || df.flag == flagTrailer || df.flag == flagEpoch {
+		// Footer and epoch frames carry no session; scans skip them and
+		// their consumers parse them with their own decoders.
 		return df, nil
 	}
 	r := &frameReader{data: payload, off: 1}
@@ -868,7 +913,14 @@ type segInfo struct {
 }
 
 func (e *binaryEngine) listSegments() ([]segInfo, error) {
-	entries, err := os.ReadDir(e.walDir())
+	return listSegmentDir(e.walDir())
+}
+
+// listSegmentDir enumerates the wal segments of a directory in index
+// order. Shared by the engine and the replication applier, which
+// maintains a physical wal replica without opening an engine.
+func listSegmentDir(walDir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(walDir)
 	if err != nil {
 		return nil, fmt.Errorf("store: list segments: %w", err)
 	}
@@ -885,7 +937,7 @@ func (e *binaryEngine) listSegments() ([]segInfo, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: list segments: %w", err)
 		}
-		segs = append(segs, segInfo{idx: idx, path: filepath.Join(e.walDir(), ent.Name()), size: info.Size()})
+		segs = append(segs, segInfo{idx: idx, path: filepath.Join(walDir, ent.Name()), size: info.Size()})
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].idx < segs[j].idx })
 	return segs, nil
@@ -1031,7 +1083,7 @@ func (e *binaryEngine) scanSegmentFrames(seg segInfo, last bool, opts walScanOpt
 				e.m.corruptFrames.Add(1)
 				continue
 			}
-			if df.flag == flagIndex || df.flag == flagTrailer {
+			if df.flag == flagIndex || df.flag == flagTrailer || df.flag == flagEpoch {
 				continue
 			}
 			if opts.idsOnly {
@@ -1200,6 +1252,15 @@ func (e *binaryEngine) Compact() (CompactionReport, error) {
 // Caller holds e.mu.
 func (e *binaryEngine) compactOffline() (CompactionReport, error) {
 	rep := CompactionReport{Supported: true}
+	// Same idle guard as compactLive: a compaction ticker over an engine
+	// nobody has written to (a promoted standby whose sessions are all
+	// finished, an empty daemon) must not rewrite the wal every tick —
+	// each pass's generation bump would force followers into an endless
+	// resync loop.
+	frames0 := e.repl.snapshot().Frames
+	if e.lastCompactFrames.Load() == frames0+1 {
+		return rep, nil
+	}
 	sessions, err := e.scanWal(true)
 	if err != nil {
 		return rep, err
@@ -1207,6 +1268,11 @@ func (e *binaryEngine) compactOffline() (CompactionReport, error) {
 	segs, err := e.listSegments()
 	if err != nil {
 		return rep, err
+	}
+	if len(segs) == 0 {
+		// Nothing on disk: no rewrite, no swap, no generation bump.
+		e.lastCompactFrames.Store(frames0 + 1)
+		return rep, nil
 	}
 	for _, s := range segs {
 		rep.BytesBefore += s.size
@@ -1245,9 +1311,18 @@ func (e *binaryEngine) compactOffline() (CompactionReport, error) {
 	}
 	// Let the first post-compaction commit append to the compacted tail.
 	e.tailTried = false
+	// The published position pointed into the retired wal; re-point it at
+	// the compacted tail so feeds tail real bytes.
+	var tailSeg uint64
+	var tailOff int64
+	if len(segs) > 0 {
+		tailSeg, tailOff = segs[len(segs)-1].idx, segs[len(segs)-1].size
+	}
+	e.repl.rebase(tailSeg, tailOff)
 	e.m.compactionRuns.Add(1)
 	e.m.compactedSessions.Add(int64(rep.SessionsCompacted))
 	e.m.retiredSegments.Add(int64(rep.SegmentsRetired))
+	e.lastCompactFrames.Store(frames0 + 1)
 	return rep, nil
 }
 
@@ -1260,6 +1335,15 @@ func (e *binaryEngine) compactOffline() (CompactionReport, error) {
 // beyond the seal boundary.
 func (e *binaryEngine) compactLive() (CompactionReport, error) {
 	rep := CompactionReport{Supported: true}
+	// Nothing appended since the last completed pass means nothing to
+	// collapse or retire: the previous pass already did it. Skip without
+	// sealing or bumping the generation — an idle primary on a compaction
+	// ticker must go quiet, not rewrite the same segments forever while
+	// each pass's generation bump resyncs every follower from scratch.
+	frames0 := e.repl.snapshot().Frames
+	if e.lastCompactFrames.Load() == frames0+1 {
+		return rep, nil
+	}
 	if err := e.faultPoint("compact-begin"); err != nil {
 		return rep, err
 	}
@@ -1318,12 +1402,15 @@ func (e *binaryEngine) compactLive() (CompactionReport, error) {
 	if err := e.faultPoint("compact-written"); err != nil {
 		return rep, err
 	}
-	if err := e.control(func() error { return e.swapCompacted(boundary) }); err != nil {
+	if err := e.control(func() error { return e.swapCompacted(boundary, cw.idx, cw.off) }); err != nil {
 		return rep, err
 	}
 	e.m.compactionRuns.Add(1)
 	e.m.compactedSessions.Add(int64(rep.SessionsCompacted))
 	e.m.retiredSegments.Add(int64(rep.SegmentsRetired))
+	// Appends racing this pass land beyond the seal boundary and raise the
+	// published count past frames0, so the next tick still runs.
+	e.lastCompactFrames.Store(frames0 + 1)
 	if err := e.faultPoint("compact-done"); err != nil {
 		return rep, err
 	}
@@ -1349,7 +1436,14 @@ func (e *binaryEngine) writeCompacted(sessions map[string]*scanSession, maxSeg u
 	if err := os.MkdirAll(e.compactDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("store: compact: %w", err)
 	}
-	cw := &compactWriter{dir: e.compactDir(), limit: e.segmentSize, maxSeg: maxSeg, m: &e.m}
+	// The compacted wal is a new generation: its GEN file carries the
+	// incremented counter and rides the two-rename swap into place. A
+	// replication follower that streamed the retired segments sees the
+	// generation change and re-syncs from scratch instead of wedging.
+	if err := writeCounterFile(filepath.Join(e.compactDir(), walGenFile), e.repl.snapshot().Gen+1); err != nil {
+		return nil, fmt.Errorf("store: compact: %w", err)
+	}
+	cw := &compactWriter{dir: e.compactDir(), limit: e.segmentSize, maxSeg: maxSeg, epoch: e.repl.snapshot().Epoch, m: &e.m}
 	for _, sid := range sids {
 		sc := sessions[sid]
 		switch {
@@ -1381,8 +1475,9 @@ func (e *binaryEngine) writeCompacted(sessions map[string]*scanSession, maxSeg u
 // valid across the rename and appends resume on the same file the moment
 // the swap ends. A failure between the two renames poisons the engine —
 // the wal directory is gone and only a restart (repairCompaction) can
-// recover it.
-func (e *binaryEngine) swapCompacted(boundary uint64) error {
+// recover it. tailSeg/tailOff name the compacted output's last segment
+// and its durable size, for re-pointing the published feed position.
+func (e *binaryEngine) swapCompacted(boundary, tailSeg uint64, tailOff int64) error {
 	if e.segErr != nil {
 		return e.segErr
 	}
@@ -1426,6 +1521,14 @@ func (e *binaryEngine) swapCompacted(boundary uint64) error {
 		e.segErr = fmt.Errorf("store: compact: %w", err)
 		return e.segErr
 	}
+	// If appends raced the pass past the seal boundary, the published
+	// position lives in a hard-linked live segment and survives the swap
+	// verbatim; otherwise it pointed into a retired segment and must move
+	// to the compacted tail.
+	if st := e.repl.snapshot(); st.Seg > boundary {
+		tailSeg, tailOff = st.Seg, st.Off
+	}
+	e.repl.rebase(tailSeg, tailOff)
 	if err := e.faultPoint("compact-swapped"); err != nil {
 		// The swap is complete and consistent; only the wal.old cleanup was
 		// skipped, which the next open's repairCompaction removes.
@@ -1463,6 +1566,7 @@ type compactWriter struct {
 	dir      string
 	limit    int64
 	maxSeg   uint64
+	epoch    uint64
 	m        *metrics
 	f        *os.File
 	off      int64
@@ -1486,6 +1590,14 @@ func (w *compactWriter) write(frame []byte, sid string, flag byte) error {
 		w.off = 0
 		w.segments++
 		w.index = newSegIndexBuilder()
+		if w.epoch > 0 {
+			ef := encodeFrame(encodeEpochPayload(w.epoch))
+			if _, err := w.f.Write(ef); err != nil {
+				return fmt.Errorf("store: compact: %w", err)
+			}
+			w.off += int64(len(ef))
+			w.bytes += int64(len(ef))
+		}
 	}
 	w.index.add(sid, flag, w.off)
 	if _, err := w.f.Write(frame); err != nil {

@@ -290,7 +290,9 @@ func TestBinaryMidLogCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[frameHeaderSize+1] ^= 0x01
+	// Every segment opens with an epoch frame; the data frame follows it.
+	dataOff := len(encodeFrame(encodeEpochPayload(1)))
+	data[dataOff+frameHeaderSize+1] ^= 0x01
 	if err := os.WriteFile(matches[2], data, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -306,7 +306,7 @@ func referenceScanWal(t *testing.T, walDir string) map[string][]Record {
 				off += frameHeaderSize + frameLen
 				continue
 			}
-			if df, err := decodePayload(payload); err == nil && df.flag != flagIndex && df.flag != flagTrailer {
+			if df, err := decodePayload(payload); err == nil && df.flag != flagIndex && df.flag != flagTrailer && df.flag != flagEpoch {
 				applyFrame(sessions, df, &m)
 			}
 			off += frameHeaderSize + frameLen

@@ -88,6 +88,27 @@ func AcquireLock(dir string) (*Lock, error) {
 	return nil, fmt.Errorf("store: %w: %s keeps changing hands", ErrLocked, path)
 }
 
+// NoteEpoch records the daemon's fencing epoch in the LOCK file beside
+// the pid, so an operator inspecting a data directory can see which
+// epoch its holder last served at. The note is informative — fencing is
+// enforced by the epoch file and segment epoch frames, not by the LOCK —
+// and is rewritten in place under the held flock.
+func (l *Lock) NoteEpoch(epoch uint64) error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("store: lock: %w", err)
+	}
+	if _, err := l.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: lock: %w", err)
+	}
+	if _, err := fmt.Fprintf(l.f, "%d\nepoch=%d\n", os.Getpid(), epoch); err != nil {
+		return fmt.Errorf("store: lock: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("store: lock: %w", err)
+	}
+	return nil
+}
+
 // Release drops the lock: the file is unlinked (so a lockless stat sees
 // a clean directory) and the descriptor closed, which releases the
 // flock. A crash without Release leaves the file behind, but its lock
@@ -103,13 +124,15 @@ func (l *Lock) Release() error {
 	return nil
 }
 
-// readLockPid parses the owner pid out of a LOCK file.
+// readLockPid parses the owner pid out of a LOCK file. The pid is the
+// first line; later lines (the epoch note) are ignored.
 func readLockPid(path string) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
-	pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	line, _, _ := strings.Cut(strings.TrimSpace(string(data)), "\n")
+	pid, err := strconv.Atoi(strings.TrimSpace(line))
 	if err != nil || pid <= 0 {
 		return 0, fmt.Errorf("store: malformed LOCK file %s", path)
 	}

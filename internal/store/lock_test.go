@@ -2,8 +2,11 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -68,5 +71,129 @@ func TestLockSurvivesRivalRelease(t *testing.T) {
 	defer l2.Release()
 	if _, err := AcquireLock(dir); !errors.Is(err, ErrLocked) {
 		t.Fatalf("acquire against live lock = %v, want ErrLocked", err)
+	}
+}
+
+// TestLockSimultaneousStart is the regression test for two daemons
+// starting at once over a stale LOCK file: every racer goes through the
+// same open → flock → SameFile verification, and exactly one may win —
+// never zero (deadlocked hand-off) and never two (split brain). The
+// others must report ErrLocked, not corrupt the file.
+func TestLockSimultaneousStart(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		dir := t.TempDir()
+		// A stale note from a dead owner makes the race start from the
+		// state the satellite bug report describes.
+		if err := os.WriteFile(filepath.Join(dir, "LOCK"), []byte("4194000\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		const racers = 8
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			held []*Lock
+			errs []error
+		)
+		start := make(chan struct{})
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				l, err := AcquireLock(dir)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs = append(errs, err)
+					return
+				}
+				held = append(held, l)
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if len(held) != 1 {
+			t.Fatalf("round %d: %d racers hold the lock, want exactly 1", round, len(held))
+		}
+		for _, err := range errs {
+			if !errors.Is(err, ErrLocked) {
+				t.Fatalf("round %d: loser got %v, want ErrLocked", round, err)
+			}
+		}
+		if pid, err := readLockPid(filepath.Join(dir, "LOCK")); err != nil || pid != os.Getpid() {
+			t.Fatalf("round %d: lock pid = %d (%v), want %d", round, pid, err, os.Getpid())
+		}
+		if err := held[0].Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLockAcquireReleaseChurn hammers acquire/release hand-offs from
+// concurrent goroutines: at no instant may two goroutines believe they
+// hold the same directory.
+func TestLockAcquireReleaseChurn(t *testing.T) {
+	dir := t.TempDir()
+	var holders int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 25; n++ {
+				l, err := AcquireLock(dir)
+				if err != nil {
+					if !errors.Is(err, ErrLocked) {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				holders++
+				if holders != 1 {
+					t.Errorf("%d simultaneous holders", holders)
+				}
+				holders--
+				mu.Unlock()
+				if err := l.Release(); err != nil {
+					t.Errorf("release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLockNoteEpoch checks the fencing-epoch note: it rides the LOCK
+// file beside the pid, survives rewrites, and never confuses the
+// pid parser a rival uses for its error message.
+func TestLockNoteEpoch(t *testing.T) {
+	dir := t.TempDir()
+	l, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	for _, epoch := range []uint64{1, 7, 123456} {
+		if err := l.NoteEpoch(epoch); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "LOCK"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("epoch=%d", epoch); !strings.Contains(string(data), want) {
+			t.Fatalf("LOCK file %q carries no %q note", data, want)
+		}
+		if pid, err := readLockPid(filepath.Join(dir, "LOCK")); err != nil || pid != os.Getpid() {
+			t.Fatalf("after NoteEpoch(%d): pid = %d (%v), want %d", epoch, pid, err, os.Getpid())
+		}
+	}
+	// A rival still gets a well-formed ErrLocked naming the owner.
+	if _, err := AcquireLock(dir); !errors.Is(err, ErrLocked) || !strings.Contains(err.Error(), "running process") {
+		t.Fatalf("acquire against epoch-noted lock = %v, want ErrLocked naming the pid", err)
 	}
 }

@@ -40,7 +40,7 @@ type EventStream struct {
 // history. The stream outlives the client timeout: it is served on a
 // transport without an overall deadline and canceled via ctx.
 func (c *Client) Events(ctx context.Context, id string, after uint64) (*EventStream, error) {
-	path := c.base + "/v1/sessions/" + id + "/events"
+	path := c.endpoint() + "/v1/sessions/" + id + "/events"
 	if after > 0 {
 		path += "?after=" + strconv.FormatUint(after, 10)
 	}
@@ -48,9 +48,7 @@ func (c *Client) Events(ctx context.Context, id string, after uint64) (*EventStr
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	if c.key != "" {
-		req.Header.Set("Authorization", "Bearer "+c.key)
-	}
+	c.decorate(req)
 	// A streaming read must not be cut by the client-wide timeout, so the
 	// stream uses a timeout-free shallow copy of the configured client.
 	hc := *c.hc

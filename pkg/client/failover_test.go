@@ -1,0 +1,187 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// demotedServer is a stub follower: it answers the replication status
+// probe with its role and refuses everything else with 503 not_primary —
+// the shape a real standby (or a just-demoted primary) presents.
+func demotedServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/replication/status" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(service.ReplicationStatus{Role: "follower", Epoch: 1})
+			return
+		}
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"error":{"code":"not_primary","message":"replication follower"}}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestClientFailsOverToPrimary points a failover client at a demoted
+// endpoint first: the 503 not_primary must trigger a re-resolve that
+// finds the real primary on the second endpoint and completes the call
+// there, transparently to the caller.
+func TestClientFailsOverToPrimary(t *testing.T) {
+	var demotedHits atomic.Int64
+	demoted := demotedServer(t, &demotedHits)
+	_, primary := newTestServer(t, service.Options{})
+
+	c := New(demoted.URL, WithEndpoints(demoted.URL, primary.URL), WithTimeout(5*time.Second))
+	loadFigure1(t, c, "demo")
+	if demotedHits.Load() == 0 {
+		t.Fatal("the demoted endpoint was never tried; the test proves nothing")
+	}
+	// The client has latched onto the primary: no more traffic to the
+	// demoted endpoint.
+	before := demotedHits.Load()
+	if _, err := c.Graphs(context.Background()); err != nil {
+		t.Fatalf("Graphs after failover: %v", err)
+	}
+	if demotedHits.Load() != before {
+		t.Fatal("client kept sending API calls to the demoted endpoint after re-resolving")
+	}
+}
+
+// TestClientHonorsRetryAfter pins the 429 contract: a rate limit with a
+// Retry-After hint is retried against the same endpoint after at least
+// the hinted delay, not rotated away from.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintf(w, `{"error":{"code":"quota_exceeded","message":"busy"}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"graphs":[]}`)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, WithRetries(2))
+	start := time.Now()
+	if _, err := c.Graphs(context.Background()); err != nil {
+		t.Fatalf("Graphs: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retry after %s ignored the Retry-After: 1 hint", elapsed)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestClientDoesNotRetryClientErrors pins that plain 4xx answers return
+// immediately as typed errors: retrying a bad request cannot fix it.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprintf(w, `{"error":{"code":"invalid_request","message":"no"}}`)
+	}))
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, WithRetries(5))
+	_, err := c.Graphs(context.Background())
+	var ae *APIError
+	if !asAPIError(err, &ae) || ae.Code != service.CodeInvalidRequest {
+		t.Fatalf("want typed invalid_request, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("client retried a 400 %d times", got-1)
+	}
+}
+
+// TestEventStreamContextCancel pins the stream teardown contract: a
+// canceled context unblocks a Next that is waiting for events, and the
+// recorded LastSeq lets a fresh stream resume exactly where the old one
+// stopped — the reconnect path a failover-aware consumer drives.
+func TestEventStreamContextCancel(t *testing.T) {
+	_, ts := newTestServer(t, service.Options{})
+	c := New(ts.URL)
+	loadFigure1(t, c, "demo")
+	v, err := c.CreateSession(context.Background(), service.SessionConfig{Graph: "demo", Mode: "manual"})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	st, err := c.Events(ctx, v.ID, 0)
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	defer st.Close()
+	// Drain the replayed prefix (at least the create record), then park
+	// in Next and cut the context from the outside.
+	first, err := st.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if first.Type != "create" {
+		t.Fatalf("first event = %q, want create", first.Type)
+	}
+	for st.LastSeq == 0 || first.Type != "question" {
+		ev, err := st.Next()
+		if err != nil {
+			t.Fatalf("Next during replay: %v", err)
+		}
+		first = ev
+		if ev.Type == "question" {
+			break
+		}
+	}
+	resumeFrom := st.LastSeq
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Next()
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil || err == io.EOF {
+			t.Fatalf("canceled stream returned %v, want a transport error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not unblock after context cancellation")
+	}
+
+	// Reconnect from the cursor: the question must not replay.
+	st2, err := c.Events(context.Background(), v.ID, resumeFrom)
+	if err != nil {
+		t.Fatalf("Events (resume): %v", err)
+	}
+	defer st2.Close()
+	if _, err := c.Answer(context.Background(), v.ID, service.Answer{Decision: "positive"}); err != nil {
+		t.Fatalf("Answer: %v", err)
+	}
+	ev, err := st2.Next()
+	if err != nil {
+		t.Fatalf("Next after resume: %v", err)
+	}
+	if ev.Seq <= resumeFrom {
+		t.Fatalf("resumed stream replayed seq %d (cursor was %d)", ev.Seq, resumeFrom)
+	}
+}

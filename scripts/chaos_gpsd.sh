@@ -27,6 +27,7 @@ go build -o "$WORK/gpsbench" ./cmd/gpsbench
   -chaos-kills "$KILLS" \
   -seed "$SEED" \
   -chaosbench-out "${CHAOS_OUT:-$WORK/chaos.json}" \
+  -chaos-telemetry "${CHAOS_TEL:-$WORK/chaos-telemetry.jsonl}" \
   -chaos-v
 
 if [ -f "${CHAOS_OUT:-$WORK/chaos.json}" ]; then

@@ -12,10 +12,14 @@
 # next boot breaks it, SIGTERM removes it), and the SSE stream replays
 # the journal. Binary engine only: a -compact restart keeps the finished
 # session inspectable and POST /v1/admin/compact compacts a serving
-# daemon. A final keyring segment boots with -api-keys, asserts the
+# daemon. A keyring segment boots with -api-keys, asserts the
 # unauthorized envelope code on the wire, rotates the key file and proves
-# SIGHUP hot-reload revokes the old key without a restart. Used by CI;
-# runnable locally with ./scripts/smoke_gpsd.sh [engine ...].
+# SIGHUP hot-reload revokes the old key without a restart. A final
+# replication segment streams a primary with a parked session into a
+# warm follower, SIGKILLs the primary, promotes the follower and proves
+# the session reconnects byte-identically — then resurrects the old
+# primary and fences it with the successor epoch. Used by CI; runnable
+# locally with ./scripts/smoke_gpsd.sh [engine ...].
 set -euo pipefail
 
 ADDR="${GPSD_ADDR:-127.0.0.1:18080}"
@@ -24,10 +28,12 @@ WORK="$(mktemp -d)"
 BIN="$WORK/gpsd"
 BENCH="$WORK/gpsbench"
 GPSD_PID=""
+FOLLOWER_PID=""
 if [ "$#" -gt 0 ]; then ENGINES=("$@"); else ENGINES=(binary text); fi
 
 cleanup() {
   [ -n "$GPSD_PID" ] && kill "$GPSD_PID" 2>/dev/null || true
+  [ -n "$FOLLOWER_PID" ] && kill "$FOLLOWER_PID" 2>/dev/null || true
 }
 trap cleanup EXIT
 
@@ -287,9 +293,81 @@ EOF
   echo "=== smoke: API keys + SIGHUP reload passed ==="
 }
 
+# --- Replication: promote-and-reconnect -------------------------------------
+# Stream a binary primary holding a parked manual session into a warm
+# follower, crash the primary with SIGKILL, promote the follower over
+# HTTP and prove the parked session reconnects byte-identically on the
+# new primary. Then resurrect the old primary on its untouched data dir
+# and prove the first write carrying the successor epoch fences it.
+run_replication() {
+  ENGINE=binary
+  DATA_DIR="$WORK/data-repl-a"
+  LOG="$WORK/gpsd-repl-a.log"
+  ADDR_B="${GPSD_ADDR_B:-127.0.0.1:18081}"
+  BASE_B="http://$ADDR_B"
+  echo "=== smoke: replication & failover ==="
+
+  start_server -preload demo=figure1
+  MID=$(smokedrive park)
+  test -n "$MID"
+  smokedrive snapshot -smoke-session "$MID" -smoke-out /tmp/gpsd_repl_before.json
+  grep -q '"kind": "satisfied"' /tmp/gpsd_repl_before.json
+
+  "$BIN" -addr "$ADDR_B" -data-dir "$WORK/data-repl-b" -store-engine binary \
+    -replicate-from "$BASE" >"$WORK/gpsd-repl-b.log" 2>&1 &
+  FOLLOWER_PID=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE_B/v1/replication/status" >/tmp/gpsd_repl_status.json 2>/dev/null || true
+    if grep -q '"connected": true' /tmp/gpsd_repl_status.json 2>/dev/null &&
+      grep -q '"lag_frames": 0' /tmp/gpsd_repl_status.json; then
+      break
+    fi
+    sleep 0.2
+  done
+  grep -q '"role": "follower"' /tmp/gpsd_repl_status.json
+  grep -q '"connected": true' /tmp/gpsd_repl_status.json
+  grep -q '"lag_frames": 0' /tmp/gpsd_repl_status.json
+
+  # The standby serves lag metrics and refuses writes with a typed code.
+  curl -fsS "$BASE_B/metrics" | grep -q '^gpsd_repl_lag_frames 0'
+  curl -sS -X POST "$BASE_B/v1/sessions" -H 'Content-Type: application/json' \
+    -d '{"graph":"demo","mode":"manual"}' >/tmp/gpsd_repl_refused.json
+  grep -q '"code": "not_primary"' /tmp/gpsd_repl_refused.json
+
+  # Crash the primary; promote the follower; the epoch must advance.
+  kill_server
+  curl -fsS -X POST "$BASE_B/v1/admin/promote" | tee /tmp/gpsd_repl_promoted.json
+  grep -q '"role": "primary"' /tmp/gpsd_repl_promoted.json
+  EPOCH=$(sed -n 's/.*"epoch": \([0-9][0-9]*\).*/\1/p' /tmp/gpsd_repl_promoted.json | head -1)
+  test -n "$EPOCH" && [ "$EPOCH" -ge 2 ]
+
+  # The parked session reconnects byte-identically on the new primary.
+  OLD_BASE=$BASE
+  BASE=$BASE_B
+  smokedrive snapshot -smoke-session "$MID" -smoke-out /tmp/gpsd_repl_after.json
+  BASE=$OLD_BASE
+  diff /tmp/gpsd_repl_before.json /tmp/gpsd_repl_after.json
+
+  # Resurrect the deposed primary on its untouched directory: the first
+  # write carrying the successor epoch latches the fence durably; reads
+  # stay available for post-mortem.
+  start_server
+  curl -sS -X POST "$BASE/v1/admin/compact" -H "X-GPSD-Epoch: $EPOCH" >/tmp/gpsd_repl_fence.json
+  grep -q '"code": "fenced"' /tmp/gpsd_repl_fence.json
+  [ -f "$DATA_DIR/FENCED" ] || { echo "fence latch must persist as a FENCED marker" >&2; exit 1; }
+  curl -fsS "$BASE/v1/graphs" >/dev/null
+
+  stop_server
+  kill -TERM "$FOLLOWER_PID"
+  wait "$FOLLOWER_PID" 2>/dev/null || true
+  FOLLOWER_PID=""
+  echo "=== smoke: replication & failover passed ==="
+}
+
 for engine in "${ENGINES[@]}"; do
   run_engine "$engine"
 done
 run_auth
+run_replication
 
 echo "gpsd smoke test passed"
